@@ -1,0 +1,79 @@
+//===- bench/bench_blowup.cpp - Determinization-blowup comparison -----------===//
+///
+/// \file
+/// The paper's motivating contrast (Section 1 / handwritten family 4):
+/// `(.*a.{k})&(.*b.{k})` has a tiny nondeterministic description but an
+/// exponential deterministic one. This bench sweeps k and reports time and
+/// state counts for all four solver configurations, on both the unsat form
+/// above and the satisfiable variant `(.*a.{k}.*)&(.*b.{k}.*)`, plus the
+/// pure-complement `~(.*a.{k})` that eager pipelines must determinize.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchArgs.h"
+#include "Runner.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace sbd;
+
+namespace {
+
+void sweep(BenchRunner &Runner, const char *Title,
+           const std::vector<std::pair<std::string, uint32_t>> &Instances) {
+  std::printf("%s\n", Title);
+  std::printf("%4s", "k");
+  for (SolverKind Kind : allSolvers())
+    std::printf(" | %12s ms/states", solverName(Kind));
+  std::printf("\n");
+  for (const auto &[Pattern, K] : Instances) {
+    std::printf("%4u", K);
+    for (SolverKind Kind : allSolvers()) {
+      BenchInstance Inst;
+      Inst.Family = "blowup";
+      Inst.Name = Pattern;
+      Inst.Pattern = Pattern;
+      RunRecord Rec = Runner.runOne(Kind, Inst);
+      char StatusChar = Rec.Status == SolveStatus::Sat     ? 's'
+                        : Rec.Status == SolveStatus::Unsat ? 'u'
+                        : Rec.Status == SolveStatus::Unsupported ? '-'
+                                                                 : '?';
+      std::printf(" | %c %9.2f/%-8zu", StatusChar,
+                  static_cast<double>(Rec.TimeUs) / 1000.0, Rec.States);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = BenchArgs::parse(Argc, Argv);
+  // This bench wants a somewhat larger budget than the throughput harness.
+  if (Args.Opts.TimeoutMs < 1000)
+    Args.Opts.TimeoutMs = 1000;
+  BenchRunner Runner(Args.Opts);
+
+  std::printf("== Determinization blowup sweep (status s/u/?/-; time ms; "
+              "states) ==\n\n");
+
+  std::vector<std::pair<std::string, uint32_t>> Unsat, Sat, Compl;
+  for (uint32_t K : {2u, 4u, 6u, 8u, 10u, 12u, 14u}) {
+    std::string Ks = std::to_string(K);
+    Unsat.push_back({"(.*a.{" + Ks + "})&(.*b.{" + Ks + "})", K});
+    Sat.push_back({"(.*a.{" + Ks + "}.*)&(.*b.{" + Ks + "}.*)", K});
+    Compl.push_back({"~(.*a.{" + Ks + "})&.*b.{" + Ks + "}", K});
+  }
+  sweep(Runner, "[unsat] (.*a.{k})&(.*b.{k})", Unsat);
+  sweep(Runner, "[sat]   (.*a.{k}.*)&(.*b.{k}.*)", Sat);
+  sweep(Runner, "[sat]   ~(.*a.{k})&.*b.{k}", Compl);
+
+  std::printf("expected shape (paper): the derivative solver answers sat\n"
+              "instances lazily with small state counts at every k, while\n"
+              "the eager DFA pipeline grows exponentially in k and starts\n"
+              "hitting the budget; antimirov cannot handle the complement\n"
+              "family at all.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- bench/bench_fig4a_summary.cpp - Reproduces Fig. 4(a) -----------------===//
+///
+/// \file
+/// The headline table of the evaluation: percent of benchmarks solved,
+/// average time, and median time per solver configuration on the
+/// Non-Boolean (NB), Boolean (B), and Handcrafted (H) benchmark groups.
+/// Wrong answers, unsupported inputs, and budget exhaustion are charged the
+/// full timeout, matching the paper's methodology. See DESIGN.md §2 for the
+/// solver-roster mapping and §3 for the benchmark substitution argument.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchArgs.h"
+#include "Runner.h"
+
+#include <cstdio>
+
+using namespace sbd;
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = BenchArgs::parse(Argc, Argv);
+  BenchRunner Runner(Args.Opts);
+
+  struct Group {
+    const char *Name;
+    std::vector<BenchSuite> Suites;
+  };
+  std::vector<Group> Groups;
+  Groups.push_back({"NB", nonBooleanSuites(Args.Scale, Args.Seed)});
+  Groups.push_back({"B", booleanSuites(Args.Scale, Args.Seed)});
+  Groups.push_back({"H", handwrittenSuites()});
+
+  std::printf("== Fig. 4(a): summary of solver comparison ==\n");
+  std::printf("scale=%.3f timeout=%lldms max-states=%zu seed=%llu\n\n",
+              Args.Scale, static_cast<long long>(Args.Opts.TimeoutMs),
+              Args.Opts.MaxStates,
+              static_cast<unsigned long long>(Args.Seed));
+  for (const Group &G : Groups) {
+    size_t N = 0;
+    for (const BenchSuite &S : G.Suites)
+      N += S.Instances.size();
+    std::printf("group %-2s: %zu instances\n", G.Name, N);
+  }
+
+  std::printf("\n%-12s %-3s %9s %9s %9s %7s %7s\n", "solver", "grp",
+              "solved%", "avg(ms)", "med(ms)", "wrong", "unsupp");
+  for (SolverKind Kind : allSolvers()) {
+    for (const Group &G : Groups) {
+      Aggregate Agg = Runner.runSuites(Kind, G.Suites);
+      std::printf("%-12s %-3s %8.1f%% %9.2f %9.3f %7zu %7zu\n",
+                  solverName(Kind), G.Name,
+                  100.0 * static_cast<double>(Agg.Solved) /
+                      static_cast<double>(Agg.Total ? Agg.Total : 1),
+                  Agg.AvgTimeMs, Agg.MedianTimeMs, Agg.Wrong,
+                  Agg.Unsupported);
+    }
+    std::printf("\n");
+  }
+
+  // Per-family breakdown (the shape of the paper's detailed tables): one
+  // row per benchmark family, one solved% column per solver.
+  std::printf("== per-family breakdown ==\n%-26s", "family");
+  for (SolverKind Kind : allSolvers())
+    std::printf(" %11s", solverName(Kind));
+  std::printf("\n");
+  for (const Group &G : Groups) {
+    for (const BenchSuite &Suite : G.Suites) {
+      std::printf("%-26s", (Suite.Name + " (" + G.Name + ")").c_str());
+      for (SolverKind Kind : allSolvers()) {
+        Aggregate Agg = Runner.runSuites(Kind, {Suite});
+        std::printf(" %10.1f%%",
+                    100.0 * static_cast<double>(Agg.Solved) /
+                        static_cast<double>(Agg.Total ? Agg.Total : 1));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+
+  std::printf("paper shape check (Fig. 4a): dZ3 is best-or-near-best on NB\n"
+              "and clearly ahead on B and H, where the Antimirov (CVC4-like)\n"
+              "configuration loses complement instances and the eager DFA\n"
+              "(classic-Z3-like) configuration hits the state blowup.\n");
+  return 0;
+}

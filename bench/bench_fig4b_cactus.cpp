@@ -1,0 +1,96 @@
+//===- bench/bench_fig4b_cactus.cpp - Reproduces Fig. 4(b) ------------------===//
+///
+/// \file
+/// Cumulative ("cactus") plot data: for each benchmark group and solver,
+/// the number of instances solved within a time budget, as the budget grows
+/// on a log scale. Fig. 4(b) plots exactly these series; this binary prints
+/// them as CSV (group,solver,time_ms,solved) plus a coarse ASCII rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchArgs.h"
+#include "Runner.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace sbd;
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = BenchArgs::parse(Argc, Argv);
+  BenchRunner Runner(Args.Opts);
+
+  struct Group {
+    const char *Name;
+    std::vector<BenchSuite> Suites;
+  };
+  std::vector<Group> Groups;
+  Groups.push_back({"NB", nonBooleanSuites(Args.Scale, Args.Seed)});
+  Groups.push_back({"B", booleanSuites(Args.Scale, Args.Seed)});
+  Groups.push_back({"H", handwrittenSuites()});
+
+  std::printf("== Fig. 4(b): cumulative solved-vs-time series ==\n");
+  std::printf("csv: group,solver,time_ms,solved\n");
+
+  // Log-spaced sample points from 10us to the timeout.
+  std::vector<double> SampleMs;
+  double TimeoutMs = static_cast<double>(
+      Args.Opts.TimeoutMs > 0 ? Args.Opts.TimeoutMs : 10000);
+  for (double T = 0.01; T <= TimeoutMs * 1.0001; T *= 2.0)
+    SampleMs.push_back(T);
+  SampleMs.push_back(TimeoutMs);
+
+  for (const Group &G : Groups) {
+    size_t Total = 0;
+    for (const BenchSuite &S : G.Suites)
+      Total += S.Instances.size();
+    struct Series {
+      SolverKind Kind;
+      Aggregate Agg;
+    };
+    std::vector<Series> AllSeries;
+    for (SolverKind Kind : allSolvers())
+      AllSeries.push_back({Kind, Runner.runSuites(Kind, G.Suites)});
+
+    for (const Series &S : AllSeries)
+      for (double T : SampleMs) {
+        size_t Solved = 0;
+        for (double Ms : S.Agg.SolvedTimesMs) {
+          if (Ms > T)
+            break;
+          ++Solved;
+        }
+        std::printf("csv: %s,%s,%.3f,%zu\n", G.Name, solverName(S.Kind), T,
+                    Solved);
+      }
+
+    // Coarse ASCII cactus: one row per solver, column per sample point,
+    // showing the solved fraction 0-9.
+    std::printf("\n[%s] solved-fraction by time (log scale, %zu instances)\n",
+                G.Name, Total);
+    std::printf("%-12s ", "time(ms):");
+    for (double T : SampleMs)
+      std::printf("%c", T < 1 ? '.' : (T < 100 ? '+' : '#'));
+    std::printf("   (. <1ms, + <100ms, # >=100ms)\n");
+    for (const Series &S : AllSeries) {
+      std::printf("%-12s ", solverName(S.Kind));
+      for (double T : SampleMs) {
+        size_t Solved = 0;
+        for (double Ms : S.Agg.SolvedTimesMs) {
+          if (Ms > T)
+            break;
+          ++Solved;
+        }
+        int Digit = Total == 0
+                        ? 0
+                        : static_cast<int>(std::floor(
+                              9.0 * static_cast<double>(Solved) /
+                              static_cast<double>(Total)));
+        std::printf("%d", Digit);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,211 @@
+//===- bench/bench_micro.cpp - Microbenchmarks (google-benchmark) -----------===//
+///
+/// \file
+/// Microbenchmarks for the primitives whose cost the paper's design
+/// arguments hinge on: character-algebra operations, derivative and DNF
+/// computation, the matcher, SBFA construction, and end-to-end solver
+/// queries on the running examples.
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/Sbfa.h"
+#include "charset/Bdd.h"
+#include "core/CachedMatcher.h"
+#include "baselines/AntimirovSolver.h"
+#include "baselines/BrzozowskiMintermSolver.h"
+#include "re/RegexParser.h"
+#include "solver/RegexSolver.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sbd;
+
+namespace {
+
+const char *PasswordPattern =
+    "(.*\\d.*)&(.*[a-z].*)&(.*[A-Z].*)&(.*[!@#$%^&+=].*)&.{8,128}"
+    "&~(.*\\s.*)&~(.*01.*)";
+const char *DatePattern =
+    "\\d{4}-[a-zA-Z]{3}-\\d{2}&(2019.*|2020.*)";
+
+void BM_CharSetIntersect(benchmark::State &State) {
+  CharSet A = CharSet::word();
+  CharSet B = CharSet::fromRanges({{'0', '9'}, {'A', 'F'}, {0x100, 0x2FF}});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.intersectWith(B));
+}
+BENCHMARK(BM_CharSetIntersect);
+
+void BM_CharSetMinterms(benchmark::State &State) {
+  std::vector<CharSet> Sets;
+  for (int I = 0; I != static_cast<int>(State.range(0)); ++I)
+    Sets.push_back(CharSet::range(static_cast<uint32_t>('a' + I),
+                                  static_cast<uint32_t>('a' + I + 10)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeMinterms(Sets));
+}
+BENCHMARK(BM_CharSetMinterms)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ParsePassword(benchmark::State &State) {
+  for (auto _ : State) {
+    RegexManager M;
+    benchmark::DoNotOptimize(parseRegexOrDie(M, PasswordPattern));
+  }
+}
+BENCHMARK(BM_ParsePassword);
+
+void BM_DerivativeDnf(benchmark::State &State) {
+  for (auto _ : State) {
+    // Fresh arenas: measures uncached derivative + DNF computation.
+    RegexManager M;
+    TrManager T(M);
+    DerivativeEngine E(M, T);
+    Re R = parseRegexOrDie(M, PasswordPattern);
+    benchmark::DoNotOptimize(E.derivativeDnf(R));
+  }
+}
+BENCHMARK(BM_DerivativeDnf);
+
+void BM_DerivativeChain(benchmark::State &State) {
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  Re R = parseRegexOrDie(M, PasswordPattern);
+  std::vector<uint32_t> Word;
+  for (int I = 0; I != 64; ++I)
+    Word.push_back("aB3!x"[I % 5]);
+  for (auto _ : State) {
+    Re Cur = R;
+    for (uint32_t Ch : Word)
+      Cur = T.apply(E.derivativeDnf(Cur), Ch);
+    benchmark::DoNotOptimize(Cur);
+  }
+}
+BENCHMARK(BM_DerivativeChain);
+
+void BM_MatcherLongInput(benchmark::State &State) {
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  Re R = parseRegexOrDie(M, ".*(ab|ba){2}.*\\d.*");
+  std::string Input;
+  for (int I = 0; I != static_cast<int>(State.range(0)); ++I)
+    Input.push_back("abx7"[I % 4]);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(E.matches(R, Input));
+}
+BENCHMARK(BM_MatcherLongInput)->Arg(64)->Arg(1024);
+
+void BM_SolverPassword(benchmark::State &State) {
+  for (auto _ : State) {
+    RegexManager M;
+    TrManager T(M);
+    DerivativeEngine E(M, T);
+    RegexSolver S(E);
+    benchmark::DoNotOptimize(S.checkSat(parseRegexOrDie(M, PasswordPattern)));
+  }
+}
+BENCHMARK(BM_SolverPassword);
+
+void BM_SolverDate(benchmark::State &State) {
+  for (auto _ : State) {
+    RegexManager M;
+    TrManager T(M);
+    DerivativeEngine E(M, T);
+    RegexSolver S(E);
+    benchmark::DoNotOptimize(S.checkSat(parseRegexOrDie(M, DatePattern)));
+  }
+}
+BENCHMARK(BM_SolverDate);
+
+void BM_SolverBlowupUnsat(benchmark::State &State) {
+  std::string P = "(.*a.{" + std::to_string(State.range(0)) + "})&(.*b.{" +
+                  std::to_string(State.range(0)) + "})";
+  for (auto _ : State) {
+    RegexManager M;
+    TrManager T(M);
+    DerivativeEngine E(M, T);
+    RegexSolver S(E);
+    benchmark::DoNotOptimize(S.checkSat(parseRegexOrDie(M, P)));
+  }
+}
+BENCHMARK(BM_SolverBlowupUnsat)->Arg(4)->Arg(8);
+
+void BM_SbfaBuild(benchmark::State &State) {
+  for (auto _ : State) {
+    RegexManager M;
+    TrManager T(M);
+    DerivativeEngine E(M, T);
+    benchmark::DoNotOptimize(
+        Sbfa::build(E, parseRegexOrDie(M, PasswordPattern)));
+  }
+}
+BENCHMARK(BM_SbfaBuild);
+
+void BM_BaselineBrzMinterm(benchmark::State &State) {
+  for (auto _ : State) {
+    RegexManager M;
+    TrManager T(M);
+    DerivativeEngine E(M, T);
+    BrzozowskiMintermSolver S(E);
+    benchmark::DoNotOptimize(S.solve(parseRegexOrDie(M, PasswordPattern)));
+  }
+}
+BENCHMARK(BM_BaselineBrzMinterm);
+
+void BM_BddRoundTrip(benchmark::State &State) {
+  // The alternative BDD algebra: encode + decode of a realistic class.
+  CharSet S = CharSet::word().unionWith(CharSet::range(0x4E00, 0x9FFF));
+  for (auto _ : State) {
+    BddManager B;
+    BddRef R = B.fromCharSet(S);
+    benchmark::DoNotOptimize(B.toCharSet(R));
+  }
+}
+BENCHMARK(BM_BddRoundTrip);
+
+void BM_BddOpsVsIntervals(benchmark::State &State) {
+  CharSet X = CharSet::word();
+  CharSet Y = CharSet::fromRanges({{'0', '9'}, {0x100, 0x2FF}});
+  BddManager B;
+  BddRef Bx = B.fromCharSet(X), By = B.fromCharSet(Y);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(B.bddAnd(Bx, By));
+    benchmark::DoNotOptimize(B.bddNot(Bx));
+  }
+}
+BENCHMARK(BM_BddOpsVsIntervals);
+
+void BM_CachedMatcherThroughput(benchmark::State &State) {
+  // Repeated matching through the SRM-style cached transition table vs the
+  // uncached derivative matcher (BM_MatcherLongInput).
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  Re R = parseRegexOrDie(M, ".*(ab|ba){2}.*\\d.*");
+  CachedMatcher Matcher(E, R);
+  std::string Input;
+  for (int I = 0; I != static_cast<int>(State.range(0)); ++I)
+    Input.push_back("abx7"[I % 4]);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Matcher.matches(Input));
+}
+BENCHMARK(BM_CachedMatcherThroughput)->Arg(64)->Arg(1024);
+
+void BM_GraphDeadStateReuse(benchmark::State &State) {
+  // Measures the payoff of the persistent graph: re-proving emptiness of a
+  // regex whose dead component is already recorded.
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  RegexSolver S(E);
+  Re Dead = parseRegexOrDie(M, "(ab)+&(ba)+");
+  (void)S.checkSat(Dead); // populate
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.checkSat(Dead));
+}
+BENCHMARK(BM_GraphDeadStateReuse);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+//===- bench/bench_scaling.cpp - Boolean-combination scaling -----------------===//
+///
+/// \file
+/// Section 2 motivates that real password/policy constraints "may involve
+/// many more similar simultaneous constraints … encoded as large
+/// intersections". This bench scales the number of conjuncts k and
+/// measures each solver configuration:
+///
+///   sat side:    ⋂_{i<k} .*cᵢ.*          (must contain k distinct chars)
+///   unsat side:  ⋂_{i<k} .*cᵢ.* & .{0,k−1}   (k chars cannot fit in k−1)
+///   mixed side:  ⋂ pos ∧ ⋂ ¬(.*dᵢdᵢ.*)   (with complements, dZ3 territory)
+///
+/// The paper's claim: symbolic Boolean derivatives keep the cost roughly
+/// linear in k because conjunctions stay *syntactic* until a derivative
+/// forces a local case split, while eager products pay multiplicatively.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchArgs.h"
+#include "Runner.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace sbd;
+
+namespace {
+
+std::string containChar(char C) {
+  return std::string(".*") + C + ".*";
+}
+
+void sweep(BenchRunner &Runner, const char *Title,
+           const std::vector<std::pair<std::string, uint32_t>> &Instances) {
+  std::printf("%s\n%4s", Title, "k");
+  for (SolverKind Kind : allSolvers())
+    std::printf(" | %16s", solverName(Kind));
+  std::printf("\n");
+  for (const auto &[Pattern, K] : Instances) {
+    std::printf("%4u", K);
+    for (SolverKind Kind : allSolvers()) {
+      BenchInstance Inst;
+      Inst.Family = "scaling";
+      Inst.Name = Pattern;
+      Inst.Pattern = Pattern;
+      RunRecord Rec = Runner.runOne(Kind, Inst);
+      char StatusChar = Rec.Status == SolveStatus::Sat     ? 's'
+                        : Rec.Status == SolveStatus::Unsat ? 'u'
+                        : Rec.Status == SolveStatus::Unsupported ? '-'
+                                                                 : '?';
+      std::printf(" | %c %8.2fms %4zu", StatusChar,
+                  static_cast<double>(Rec.TimeUs) / 1000.0,
+                  Rec.States > 9999 ? size_t(9999) : Rec.States);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = BenchArgs::parse(Argc, Argv);
+  if (Args.Opts.TimeoutMs < 1000)
+    Args.Opts.TimeoutMs = 1000;
+  BenchRunner Runner(Args.Opts);
+
+  std::printf("== Boolean-combination scaling in the number of conjuncts "
+              "==\n(status s/u/?/-; time; states capped at 9999)\n\n");
+
+  std::vector<std::pair<std::string, uint32_t>> Sat, Unsat, Mixed;
+  for (uint32_t K : {2u, 4u, 6u, 8u, 10u, 12u}) {
+    std::string Conj;
+    for (uint32_t I = 0; I != K; ++I) {
+      if (I)
+        Conj += "&";
+      Conj += "(" + containChar(static_cast<char>('a' + I)) + ")";
+    }
+    Sat.push_back({Conj, K});
+    Unsat.push_back({Conj + "&.{0," + std::to_string(K - 1) + "}", K});
+    std::string Neg = Conj;
+    for (uint32_t I = 0; I != K; ++I) {
+      char C = static_cast<char>('a' + I);
+      Neg += std::string("&~(.*") + C + C + ".*)";
+    }
+    Mixed.push_back({Neg, K});
+  }
+  sweep(Runner, "[sat]   k-way 'contains cᵢ' intersection", Sat);
+  sweep(Runner, "[unsat] + length window k−1", Unsat);
+  sweep(Runner, "[sat]   + k complements ~(.*cᵢcᵢ.*)", Mixed);
+
+  std::printf("expected shape: the derivative solver grows mildly with k\n"
+              "on all three families; the eager pipelines pay a product\n"
+              "per conjunct, and the Antimirov configuration drops out of\n"
+              "the complement family entirely.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+//===- bench/bench_thm73_states.cpp - Theorem 7.3 state-space measurement ---===//
+///
+/// \file
+/// Measures the SBFA state space against the Theorem 7.3 bound
+/// |Q_SBFA(R)| ≤ ♯(R) + 3 on random clean, normalized, loop-free B(RE)
+/// terms, and contrasts three quantities the paper discusses:
+///
+///  - |Q|: SBFA states at the atomic granularity (provably linear);
+///  - SAFA transitions after local mintermization (Prop. 8.3 — can blow up);
+///  - the Section 5 solver's graph vertices, whose states are conjunction
+///    leaves of δdnf (worst-case exponential for B(RE)).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchArgs.h"
+
+#include "automata/Safa.h"
+#include "re/RegexParser.h"
+#include "solver/RegexSolver.h"
+#include "support/Rng.h"
+
+#include <cstdio>
+
+using namespace sbd;
+
+namespace {
+
+Re randomPlainRe(RegexManager &M, Rng &R, int Depth) {
+  if (Depth <= 0) {
+    switch (R.below(4)) {
+    case 0:
+      return M.chr(static_cast<uint32_t>('a' + R.below(4)));
+    case 1:
+      return M.pred(CharSet::digit());
+    case 2:
+      return M.pred(CharSet::range('a', 'm'));
+    default:
+      return M.anyChar();
+    }
+  }
+  switch (R.below(6)) {
+  case 0:
+  case 1:
+    return M.concat(randomPlainRe(M, R, Depth - 1),
+                    randomPlainRe(M, R, Depth - 1));
+  case 2:
+    return M.union_(randomPlainRe(M, R, Depth - 1),
+                    randomPlainRe(M, R, Depth - 1));
+  case 3:
+    return M.star(randomPlainRe(M, R, Depth - 1));
+  default:
+    return randomPlainRe(M, R, 0);
+  }
+}
+
+Re randomBre(RegexManager &M, Rng &R, int BoolDepth, int ReDepth) {
+  if (BoolDepth <= 0)
+    return randomPlainRe(M, R, ReDepth);
+  switch (R.below(4)) {
+  case 0:
+    return M.union_(randomBre(M, R, BoolDepth - 1, ReDepth),
+                    randomBre(M, R, BoolDepth - 1, ReDepth));
+  case 1:
+    return M.inter(randomBre(M, R, BoolDepth - 1, ReDepth),
+                   randomBre(M, R, BoolDepth - 1, ReDepth));
+  case 2:
+    return M.complement(randomBre(M, R, BoolDepth - 1, ReDepth));
+  default:
+    return randomPlainRe(M, R, ReDepth);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = BenchArgs::parse(Argc, Argv);
+  Rng Rand(Args.Seed);
+
+  std::printf("== Theorem 7.3: SBFA state-space linearity ==\n\n");
+  std::printf("%6s %6s %6s %9s %9s %10s %10s\n", "#(R)", "|Q|", "bound",
+              "Q<=bound", "safa-tr", "solver-V", "pattern-len");
+
+  size_t Violations = 0, Samples = 0;
+  size_t MaxSolverOverSbfa = 0;
+  for (int Round = 0; Round != 120; ++Round) {
+    RegexManager M;
+    TrManager T(M);
+    DerivativeEngine E(M, T);
+    int BoolDepth = 1 + static_cast<int>(Rand.below(3));
+    int ReDepth = 2 + static_cast<int>(Rand.below(3));
+    Re R = randomBre(M, Rand, BoolDepth, ReDepth);
+    if (!M.isClean(R) || !M.isBooleanOverRe(R))
+      continue;
+    auto A = Sbfa::build(E, R, /*MaxStates=*/100000);
+    if (!A)
+      continue;
+    ++Samples;
+    size_t Bound = M.node(R).NumPreds + 3;
+    if (A->numStates() > Bound)
+      ++Violations;
+
+    Safa S = Safa::fromSbfa(*A);
+
+    // The solver's conjunction-granularity graph for comparison.
+    RegexSolver Solver(E);
+    SolveOptions Opts;
+    Opts.MaxStates = 100000;
+    (void)Solver.checkSat(R, Opts);
+    size_t SolverV = Solver.graph().numVertices();
+    size_t Ratio = A->numStates() ? SolverV / A->numStates() : 0;
+    if (Ratio > MaxSolverOverSbfa)
+      MaxSolverOverSbfa = Ratio;
+
+    if (Round % 12 == 0)
+      std::printf("%6u %6zu %6zu %9s %9zu %10zu %10zu\n",
+                  M.node(R).NumPreds, A->numStates(), Bound,
+                  A->numStates() <= Bound ? "yes" : "NO", S.numTransitions(),
+                  SolverV, M.toString(R).size());
+  }
+
+  std::printf("\nsamples: %zu, bound violations: %zu (Theorem 7.3 predicts "
+              "0)\n",
+              Samples, Violations);
+  std::printf("max solver-graph/SBFA state ratio observed: %zux\n",
+              MaxSolverOverSbfa);
+
+  // The paper's handwritten blowup family: SBFA linear in k even though the
+  // DFA is exponential and the solver graph grows with k.
+  std::printf("\n(.*a.{k})&(.*b.{k}) family:\n");
+  std::printf("%4s %8s %8s %10s %12s\n", "k", "#(R)", "|Q|", "safa-tr",
+              "solver-V");
+  for (uint32_t K : {2u, 4u, 8u, 12u, 16u}) {
+    RegexManager M;
+    TrManager T(M);
+    DerivativeEngine E(M, T);
+    std::string P = "(.*a.{" + std::to_string(K) + "})&(.*b.{" +
+                    std::to_string(K) + "})";
+    Re R = parseRegexOrDie(M, P);
+    auto A = Sbfa::build(E, R);
+    Safa S = Safa::fromSbfa(*A);
+    RegexSolver Solver(E);
+    SolveOptions Opts;
+    Opts.MaxStates = 1000000;
+    (void)Solver.checkSat(R, Opts);
+    std::printf("%4u %8u %8zu %10zu %12zu\n", K, M.node(R).NumPreds,
+                A->numStates(), S.numTransitions(),
+                Solver.graph().numVertices());
+  }
+  std::printf("\nSBFA states grow linearly in k; the solver's conjunction\n"
+              "granularity grows super-linearly (quadratically on this\n"
+              "family, exponentially in the worst case) and a DFA grows\n"
+              "exponentially — the paper's Section 7 complexity discussion,\n"
+              "measured.\n");
+  return 0;
+}

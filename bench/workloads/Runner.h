@@ -1,0 +1,91 @@
+//===- workloads/Runner.h - Cross-solver benchmark harness ------------------===//
+///
+/// \file
+/// Runs benchmark instances against the four solver configurations the
+/// evaluation compares (see DESIGN.md §2 for the mapping to the paper's
+/// solver roster), with per-instance timeout/state budgets, and aggregates
+/// the statistics reported in Fig. 4: percent solved, average and median
+/// time, with unsolved/incorrect runs charged the full timeout exactly as
+/// the paper does ("errors, wrong answers, and crashes are treated as
+/// timeouts").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_WORKLOADS_RUNNER_H
+#define SBD_WORKLOADS_RUNNER_H
+
+#include "Workloads.h"
+
+#include "solver/SolverResult.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sbd {
+
+/// The solver configurations under comparison.
+enum class SolverKind : uint8_t {
+  SymbolicDerivative, ///< this library (the paper's dZ3)
+  EagerAutomata,      ///< eager DFA pipeline (classic Z3-style)
+  EagerMinimize,      ///< eager pipeline + minimization after each step
+                      ///< (the "after the fact" mitigation of Section 1)
+  BrzozowskiMinterm,  ///< global alphabet finitization (Ostrich-style cost)
+  Antimirov,          ///< positive partial derivatives (CVC4-style)
+};
+
+/// Short display name, matching the roster in DESIGN.md.
+const char *solverName(SolverKind Kind);
+
+/// All four configurations, in display order.
+std::vector<SolverKind> allSolvers();
+
+/// Result of running one instance on one solver.
+struct RunRecord {
+  SolveStatus Status = SolveStatus::Unknown;
+  int64_t TimeUs = 0;
+  size_t States = 0;
+  /// Status is sat/unsat and matches the instance label (label from the
+  /// instance itself or, if unlabeled, from the reference solver).
+  bool Solved = false;
+};
+
+/// Per-(suite, solver) aggregate in the shape of Fig. 4(a).
+struct Aggregate {
+  size_t Total = 0;
+  size_t Solved = 0;
+  size_t Wrong = 0;
+  size_t Unsupported = 0;
+  double AvgTimeMs = 0;    ///< unsolved charged the full timeout
+  double MedianTimeMs = 0; ///< ditto
+  std::vector<double> SolvedTimesMs; ///< for cactus plots (sorted)
+};
+
+/// Harness: owns the per-run budgets and the reference-labeling policy.
+class BenchRunner {
+public:
+  explicit BenchRunner(const SolveOptions &Opts) : Opts(Opts) {}
+
+  /// Runs one instance on one solver (fresh arenas per call, so no caching
+  /// leaks between instances or solvers).
+  RunRecord runOne(SolverKind Kind, const BenchInstance &Inst);
+
+  /// Labels an instance: its own label if present, otherwise the reference
+  /// (symbolic-derivative) solver's verdict with a generous budget;
+  /// nullopt if even the reference cannot decide it.
+  std::optional<bool> referenceLabel(const BenchInstance &Inst);
+
+  /// Runs a whole suite group on one solver, aggregating per Fig. 4(a).
+  Aggregate runSuites(SolverKind Kind,
+                      const std::vector<BenchSuite> &Suites);
+
+  const SolveOptions &options() const { return Opts; }
+
+private:
+  SolveOptions Opts;
+  std::map<std::string, std::optional<bool>> LabelCache;
+};
+
+} // namespace sbd
+
+#endif // SBD_WORKLOADS_RUNNER_H

@@ -1,0 +1,553 @@
+//===- workloads/Workloads.cpp - Benchmark instance generators ---------------===//
+
+#include "Workloads.h"
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace sbd;
+
+namespace {
+
+/// Random lowercase/digit literal of length [MinLen, MaxLen].
+std::string randomLiteral(Rng &R, size_t MinLen, size_t MaxLen) {
+  static const char Pool[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  size_t Len = R.range(MinLen, MaxLen);
+  std::string Out;
+  for (size_t I = 0; I != Len; ++I)
+    Out.push_back(Pool[R.below(sizeof(Pool) - 1)]);
+  return Out;
+}
+
+BenchInstance make(const std::string &Family, size_t Idx,
+                   std::string Pattern, std::optional<bool> Sat,
+                   bool IsBoolean, bool UsesComplement) {
+  BenchInstance B;
+  B.Family = Family;
+  B.Name = Family + "-" + std::to_string(Idx);
+  B.Pattern = std::move(Pattern);
+  B.ExpectedSat = Sat;
+  B.IsBoolean = IsBoolean;
+  B.UsesComplement = UsesComplement;
+  return B;
+}
+
+} // namespace
+
+size_t sbd::scaledCount(size_t PaperCount, double Scale) {
+  double Scaled = std::ceil(static_cast<double>(PaperCount) * Scale);
+  return Scaled < 1.0 ? 1 : static_cast<size_t>(Scaled);
+}
+
+BenchSuite sbd::makeKaluzaLike(size_t Count, uint64_t Seed) {
+  BenchSuite S;
+  S.Name = "Kaluza-like";
+  Rng R(Seed);
+  for (size_t I = 0; I != Count; ++I) {
+    std::string Lit = randomLiteral(R, 1, 8);
+    std::string Pattern;
+    std::optional<bool> Sat = true;
+    switch (R.below(6)) {
+    case 0: // s = "lit"
+      Pattern = Lit;
+      break;
+    case 1: // prefix
+      Pattern = Lit + ".*";
+      break;
+    case 2: // suffix
+      Pattern = ".*" + Lit;
+      break;
+    case 3: // contains
+      Pattern = ".*" + Lit + ".*";
+      break;
+    case 4: { // prefix + satisfiable length bound
+      size_t Window = Lit.size() + R.below(6);
+      Pattern = Lit + ".*&.{0," + std::to_string(Window) + "}";
+      break;
+    }
+    default: { // prefix + contradictory length bound
+      if (Lit.size() < 2) {
+        Pattern = Lit + ".*";
+        break;
+      }
+      size_t Window = R.below(Lit.size() - 1);
+      Pattern = Lit + ".*&.{0," + std::to_string(Window) + "}";
+      Sat = false;
+      break;
+    }
+    }
+    S.Instances.push_back(make(S.Name, I, Pattern, Sat, false, false));
+  }
+  return S;
+}
+
+BenchSuite sbd::makeSlogLike(size_t Count, uint64_t Seed) {
+  BenchSuite S;
+  S.Name = "Slog-like";
+  Rng R(Seed);
+  // (template, minimum accepted length) pairs.
+  struct Tpl {
+    const char *Pattern;
+    size_t MinLen;
+  };
+  static const Tpl Templates[] = {
+      {"\\w+@\\w+\\.\\w{2,3}", 6},
+      {"\\d{3}-\\d{3}-\\d{4}", 12},
+      {"[A-Z]{2}\\d{4,6}", 6},
+      {"[0-9a-f]{8}", 8},
+      {"(\\d{1,3}\\.){3}\\d{1,3}", 7},
+      {"[A-Z][a-z]{1,10}( [A-Z][a-z]{1,10}){0,3}", 2},
+      {"#[0-9a-fA-F]{6}", 7},
+      {"[a-z]+(-[a-z]+)*", 1},
+      {"\\$\\d{1,3}(,\\d{3})*", 2},
+      {"\\d{4}-\\d{2}-\\d{2}", 10},
+  };
+  for (size_t I = 0; I != Count; ++I) {
+    const Tpl &T = Templates[R.below(std::size(Templates))];
+    std::string Pattern = T.Pattern;
+    std::optional<bool> Sat = true;
+    switch (R.below(4)) {
+    case 0: // plain membership
+      break;
+    case 1: // generous window
+      Pattern += "&.{0," + std::to_string(T.MinLen + 10) + "}";
+      break;
+    case 2: // window below the minimum: unsat
+      if (T.MinLen == 0)
+        break;
+      Pattern += "&.{0," + std::to_string(T.MinLen - 1) + "}";
+      Sat = false;
+      break;
+    default: // exact minimum: sat
+      Pattern += "&.{" + std::to_string(T.MinLen) + ",}";
+      break;
+    }
+    S.Instances.push_back(make(S.Name, I, Pattern, Sat, false, false));
+  }
+  return S;
+}
+
+BenchSuite sbd::makeNornLike(size_t Count, uint64_t Seed) {
+  BenchSuite S;
+  S.Name = "Norn-like";
+  Rng R(Seed);
+  for (size_t I = 0; I != Count; ++I) {
+    uint64_t K = R.below(13);
+    std::string Ks = std::to_string(K);
+    std::string Pattern;
+    std::optional<bool> Sat;
+    switch (R.below(5)) {
+    case 0: // even lengths only
+      Pattern = "(ab|ba)*&.{" + Ks + "}";
+      Sat = (K % 2 == 0);
+      break;
+    case 1: // lengths 2x+3y: everything except 1
+      Pattern = "(aa|bbb)*&.{" + Ks + "}";
+      Sat = (K != 1);
+      break;
+    case 2: // multiples of 3
+      Pattern = "(abc)*&.{" + Ks + "}";
+      Sat = (K % 3 == 0);
+      break;
+    case 3: // a-block then b-block, any length
+      Pattern = "a*b*&.{" + Ks + "}&\\w*";
+      Sat = true;
+      break;
+    default: // alternation with optional tail, any length
+      Pattern = "(ab)*(a|())&.{" + Ks + "}";
+      Sat = true;
+      break;
+    }
+    S.Instances.push_back(make(S.Name, I, Pattern, Sat, false, false));
+  }
+  return S;
+}
+
+BenchSuite sbd::makeNornBooleanLike(size_t Count, uint64_t Seed) {
+  BenchSuite S;
+  S.Name = "Norn-Boolean";
+  Rng R(Seed);
+  for (size_t I = 0; I != Count; ++I) {
+    uint64_t K = R.below(11);
+    std::string Ks = std::to_string(K);
+    std::string Pattern;
+    std::optional<bool> Sat;
+    switch (R.below(5)) {
+    case 0: // alternating pairs ∧ contains "aa": needs "baab", length ≥ 4
+      Pattern = "(ab|ba)*&.*aa.*&.{0," + Ks + "}";
+      Sat = (K >= 4);
+      break;
+    case 1: // even-length a-words ∧ odd-length a-words
+      Pattern = "(aa)*&a(aa)*&.{0," + Ks + "}";
+      Sat = false;
+      break;
+    case 2: // two block shapes agree only on a*, then a length pin
+      Pattern = "a*b*&b*a*&.{" + Ks + "}&.*a.*";
+      Sat = (K >= 1); // a^K works; K = 0 fails .*a.*
+      break;
+    case 3: // prefix and suffix memberships: overlap "ab…ba"
+      Pattern = "ab.*&.*ba&.{" + Ks + "}";
+      // Shortest overlap: "aba" (3); K = 2 would need "ab"=="ba".
+      Sat = (K >= 3);
+      break;
+    default: // membership plus its star closure: the smaller one wins
+      Pattern = "(abc)*&(abcabc)*&.{0," + Ks + "}&.{1,}";
+      // Multiples of 6 in [1, K].
+      Sat = (K >= 6);
+      break;
+    }
+    BenchInstance Inst = make(S.Name, I, Pattern, Sat, true, false);
+    S.Instances.push_back(std::move(Inst));
+  }
+  return S;
+}
+
+BenchSuite sbd::makeSyGuSLike(size_t Count, uint64_t Seed) {
+  BenchSuite S;
+  S.Name = "SyGuS-like";
+  Rng R(Seed);
+  for (size_t I = 0; I != Count; ++I) {
+    std::string Pattern;
+    std::optional<bool> Sat;
+    switch (R.below(5)) {
+    case 0: { // two prefix constraints: sat iff one extends the other
+      std::string A = randomLiteral(R, 1, 4);
+      std::string B = R.chance(1, 2) ? A + randomLiteral(R, 1, 3)
+                                     : randomLiteral(R, 1, 4);
+      Pattern = A + ".*&" + B + ".*";
+      bool Compatible = A.compare(0, std::min(A.size(), B.size()),
+                                  B.substr(0, std::min(A.size(), B.size()))) ==
+                        0;
+      Sat = Compatible;
+      break;
+    }
+    case 1: { // prefix + suffix: always compatible
+      Pattern = randomLiteral(R, 1, 4) + ".*&.*" + randomLiteral(R, 1, 4);
+      Sat = true;
+      break;
+    }
+    case 2: { // digit prefix vs letter prefix: contradictory
+      uint64_t K = 1 + R.below(3);
+      Pattern = "\\d{" + std::to_string(K) + "}.*&[a-z]{" +
+                std::to_string(K) + "}.*";
+      Sat = false;
+      break;
+    }
+    case 3: { // containment + length window
+      std::string Lit = randomLiteral(R, 2, 6);
+      uint64_t Window = R.below(9);
+      Pattern =
+          ".*" + Lit + ".*&.{0," + std::to_string(Window) + "}";
+      Sat = Lit.size() <= Window;
+      break;
+    }
+    default: { // triple combination
+      std::string A = randomLiteral(R, 1, 3);
+      std::string B = randomLiteral(R, 1, 3);
+      uint64_t Window = R.range(1, 10);
+      Pattern = A + ".*&.*" + B + "&.{0," + std::to_string(Window) + "}";
+      if (A.size() + B.size() <= Window)
+        Sat = true;
+      else if (Window < A.size() || Window < B.size())
+        Sat = false;
+      // Otherwise the words may overlap; leave the label to the reference.
+      break;
+    }
+    }
+    S.Instances.push_back(make(S.Name, I, Pattern, Sat, true, false));
+  }
+  return S;
+}
+
+namespace {
+
+/// Realistic patterns in the spirit of regexlib.com.
+struct LibPattern {
+  const char *Name;
+  const char *Pattern;
+};
+
+const LibPattern RegExLibPool[] = {
+    {"email", "\\w+(\\.\\w+)*@\\w+(\\.\\w+)+"},
+    {"email-strict", "[a-z0-9]+@[a-z0-9]+\\.(com|org|net)"},
+    {"date-iso", "\\d{4}-\\d{2}-\\d{2}"},
+    {"date-us", "\\d{1,2}/\\d{1,2}/\\d{4}"},
+    {"time24", "([01]\\d|2[0-3]):[0-5]\\d"},
+    {"ip", "(\\d{1,3}\\.){3}\\d{1,3}"},
+    {"zip", "\\d{5}(-\\d{4})?"},
+    {"phone", "(\\(\\d{3}\\) |\\d{3}-)\\d{3}-\\d{4}"},
+    {"hex-color", "#[0-9a-fA-F]{6}"},
+    {"currency", "\\$\\d{1,3}(,\\d{3})*(\\.\\d{2})?"},
+    {"url", "(http|https)://[a-z0-9]+(\\.[a-z0-9]+)+(/\\w*)*"},
+    {"identifier", "[a-zA-Z_]\\w*"},
+    {"integer", "-?\\d+"},
+    {"float", "-?\\d+\\.\\d+"},
+    {"ssn", "\\d{3}-\\d{2}-\\d{4}"},
+    {"slug", "[a-z0-9]+(-[a-z0-9]+)*"},
+    {"visa", "4\\d{12}(\\d{3})?"},
+    {"word8", "\\w{8,}"},
+    {"upper-name", "[A-Z][a-z]+( [A-Z][a-z]+)*"},
+    {"hexhash", "[0-9a-f]{32}"},
+};
+
+} // namespace
+
+BenchSuite sbd::makeRegExLibIntersection(size_t Count, uint64_t Seed) {
+  BenchSuite S;
+  S.Name = "RegExLib-Intersection";
+  Rng R(Seed);
+  const size_t N = std::size(RegExLibPool);
+  for (size_t I = 0; I != Count; ++I) {
+    size_t A = R.below(N), B = R.below(N);
+    std::string Pattern = std::string("(") + RegExLibPool[A].Pattern +
+                          ")&(" + RegExLibPool[B].Pattern + ")";
+    // Self-intersections are satisfiable (each pattern is nonempty); other
+    // labels are established by the reference solver.
+    std::optional<bool> Sat;
+    if (A == B)
+      Sat = true;
+    BenchInstance Inst = make(S.Name, I, Pattern, Sat, true, false);
+    Inst.Name += std::string("-") + RegExLibPool[A].Name + "-vs-" +
+                 RegExLibPool[B].Name;
+    S.Instances.push_back(std::move(Inst));
+  }
+  return S;
+}
+
+BenchSuite sbd::makeRegExLibSubset(size_t Count, uint64_t Seed) {
+  BenchSuite S;
+  S.Name = "RegExLib-Subset";
+  Rng R(Seed);
+  // Containment L(A) ⊆ L(B) asked as emptiness of A & ~B. A handful of
+  // known-true containments seeds the unsat side.
+  struct Known {
+    const char *A;
+    const char *B;
+    bool Subset;
+  };
+  static const Known KnownPairs[] = {
+      {"email-strict", "email", true},
+      {"ssn", "ssn", true},
+      {"visa", "integer", true},
+      {"date-iso", "slug", true}, // digit segments joined by single dashes
+      {"zip", "integer", false},  // "12345-6789" is not an integer
+      {"slug", "identifier", false}, // slugs may start with a digit
+      {"hexhash", "word8", true},
+      {"time24", "identifier", false}, // ':' is not a word character
+  };
+  auto find = [&](const char *Name) -> const LibPattern & {
+    for (const LibPattern &P : RegExLibPool)
+      if (std::string(P.Name) == Name)
+        return P;
+    return RegExLibPool[0];
+  };
+  const size_t N = std::size(RegExLibPool);
+  for (size_t I = 0; I != Count; ++I) {
+    std::string AName, BName, APat, BPat;
+    std::optional<bool> Sat;
+    if (I < std::size(KnownPairs)) {
+      const Known &K = KnownPairs[I];
+      AName = K.A;
+      BName = K.B;
+      APat = find(K.A).Pattern;
+      BPat = find(K.B).Pattern;
+      Sat = !K.Subset;
+    } else {
+      size_t A = R.below(N), B = R.below(N);
+      AName = RegExLibPool[A].Name;
+      BName = RegExLibPool[B].Name;
+      APat = RegExLibPool[A].Pattern;
+      BPat = RegExLibPool[B].Pattern;
+      if (A == B)
+        Sat = false; // A ⊆ A always holds
+    }
+    std::string Pattern = "(" + APat + ")&~(" + BPat + ")";
+    BenchInstance Inst = make(S.Name, I, Pattern, Sat, true, true);
+    Inst.Name += "-" + AName + "-sub-" + BName;
+    S.Instances.push_back(std::move(Inst));
+  }
+  return S;
+}
+
+BenchSuite sbd::makeDateFamily() {
+  BenchSuite S;
+  S.Name = "Date";
+  const char *Shape = "\\d{4}-[a-zA-Z]{3}-\\d{2}";
+  std::string Sh = Shape;
+  std::vector<std::pair<std::string, bool>> Items = {
+      {Sh + "&(2019.*|2020.*)", true},                      // Fig. 1
+      {Sh + "&(.*2019|.*2020)", false},                     // the buggy policy
+      {Sh + "&2020.*&.*-Feb-.*", true},
+      {Sh + "&\\d{4}-Feb-\\d{2}&~(\\d{4}-[a-zA-Z]{3}-3[01])", true},
+      {Sh + "&\\d{4}-Feb-3[01]", true},                     // violation exists
+      {"\\d{4}-Feb-\\d{2}&~(" + Sh + ")", false},           // Feb ⊆ shape
+      {"(" + Sh + "&2020.*)&~(" + Sh + "&(2019.*|2020.*))", false},
+      {Sh + "&~(\\d{4}-.*)", false},
+      {Sh + "&.{11}", true},
+      {Sh + "&.{12,}", false},
+      {Sh + "&~(.{11})", false},
+      {Sh + "&(.*Jan.*|.*Feb.*|.*Mar.*)", true},
+      {Sh + "&~(.*[a-zA-Z].*)", false},
+      {Sh + "&19.*", true},
+      {Sh + "&~(19.*)&19\\d{2}-.*", false},
+      {"\\d{4}/[a-zA-Z]{3}/\\d{2}&" + Sh, false},
+      {"(" + Sh + "|\\d{2}-[a-zA-Z]{3}-\\d{4})&.{11}", true},
+      {"(" + Sh + "|\\d{8})&~(.*-.*)", true},
+      {Sh + "&.*-(Nov|Dec)-.*&2020.*", true},
+      {Sh + "&~(.*\\d{2})", false},
+  };
+  for (size_t I = 0; I != Items.size(); ++I) {
+    bool Compl = Items[I].first.find('~') != std::string::npos;
+    S.Instances.push_back(
+        make(S.Name, I, Items[I].first, Items[I].second, true, Compl));
+  }
+  return S;
+}
+
+BenchSuite sbd::makePasswordFamily() {
+  BenchSuite S;
+  S.Name = "Password";
+  const std::string R1 = ".*\\d.*";            // a digit
+  const std::string R2 = ".*[a-z].*";          // a lower-case letter
+  const std::string R3 = ".*[A-Z].*";          // an upper-case letter
+  const std::string R4 = ".*[!@#$%^&+=].*";    // a special character
+  const std::string N1 = "~(.*\\s.*)";         // no whitespace
+  const std::string N2 = "~(.*01.*)";          // no "01" (Section 2)
+  std::vector<std::pair<std::string, bool>> Items = {
+      {R1, true},
+      {R1 + "&" + R2, true},
+      {R1 + "&" + R2 + "&" + R3, true},
+      {R1 + "&" + R2 + "&" + R3 + "&" + R4, true},
+      {R1 + "&" + R2 + "&" + R3 + "&" + R4 + "&.{8,128}", true},
+      {R1 + "&" + R2 + "&" + R3 + "&" + R4 + "&.{8,128}&" + N1, true},
+      {R1 + "&" + R2 + "&" + R3 + "&" + R4 + "&.{8,128}&" + N1 + "&" + N2,
+       true},
+      {R1 + "&" + R2 + "&" + R3 + "&" + R4 + "&.{8,128}&~(.*aaa.*)", true},
+      {R1 + "&" + R2 + "&" + R3 + "&" + R4 + "&.{4,4}", true},
+      {R1 + "&" + R2 + "&" + R3 + "&" + R4 + "&.{0,3}", false},
+      {R1 + "&[a-zA-Z]*", false},
+      {R1 + "&" + R2 + "&\\d*", false},
+      {R1 + "&.{0,0}", false},
+      {R1 + "&" + N2, true},
+      {R1 + "&~(" + R1 + ")", false},
+      {".{8,128}&.{0,7}", false},
+      {R1 + "&" + R2 + "&" + R3 + "&.{8,128}&~(.*00.*)", true},
+      {".*\\d{3}.*&~(.*\\d\\d.*)", false},
+      {".*\\d\\d.*&~(.*\\d{3}.*)", true},
+      {"(\\w|[!@#%]){8,16}&" + R1 + "&" + R2 + "&" + R3, true},
+      {"[!@#]{8,}&" + R1, false},
+      {R1 + "&" + R2 + "&" + R3 + "&" + R4 + "&.{8,}&~(.*[a-z][a-z].*)",
+       true},
+      {"\\w{8,}&" + R4, false},
+      {"(\\d[a-z])*&" + R3, false},
+      {"(\\d[a-z])*&" + R1 + "&" + R2 + "&.{6,}", true},
+      {"[a-zA-Z].*[a-zA-Z]&" + R1 + "&.{8,}", true},
+      {"[a-zA-Z].*[a-zA-Z]&.{1}", false},
+      {N2 + "&.*0.*&.*1.*", true},
+      {N2 + "&0.*1&.{2}", false},
+      {"~(\\w*)&\\w{8,}", false},
+      {"~(\\w*)&.{8,}", true},
+      {R1 + "&" + R2 + "&" + R3 + "&" + R4 + "&" + N1 + "&.{64,128}", true},
+      {".{8,128}&~(.{0,127})", true},
+      {".{8,128}&~(.{0,128})", false},
+  };
+  for (size_t I = 0; I != Items.size(); ++I) {
+    bool Compl = Items[I].first.find('~') != std::string::npos;
+    S.Instances.push_back(
+        make(S.Name, I, Items[I].first, Items[I].second, true, Compl));
+  }
+  return S;
+}
+
+BenchSuite sbd::makeBooleanLoopsFamily() {
+  BenchSuite S;
+  S.Name = "Boolean+Loops";
+  std::vector<std::pair<std::string, bool>> Items = {
+      {"(a{3})*&a{7}", false},
+      {"(a{3})*&a{9}", true},
+      {"(aa)*&(aaa)*&.{1,5}&a*", false},
+      {"(aa)*&(aaa)*&a{6}", true},
+      {"~((ab)*)&(ab){4}", false},
+      {"~((ab)*)&(ab){3}a", true},
+      {"(ab)+&(ba)+", false},
+      {"(ab)+&~(a.*)", false},
+      {"a+b+&b+a+", false},
+      {"a+b+&.{4}&~(a{2}b{2})&~(a{3}b)&~(ab{3})", false},
+      {"a+b+&.{4}&~(.*ab.*)", false},
+      {"~(.*ab.*)&a*b*", true},
+      {"(a|b)*&~(.*aa.*)&~(.*bb.*)&.{5}", true},
+      {"~(.*aa.*)&~(.*bb.*)&~(.*ab.*)&~(.*ba.*)&(a|b){2,}", false},
+      {"((a|b){2})*&((a|b){3})*&(a|b){7}", false},
+      {"a{10,20}&a{15,25}", true},
+      {"a{10,20}&a{21,30}", false},
+      {"(a{2,3})*&a{1}", false},
+      {"(a{2,3})*&a{5}", true},
+      {"~(a*)&(ab)*", true},
+      {"~(a*b*)&a*b*a*", true},
+  };
+  for (size_t I = 0; I != Items.size(); ++I) {
+    bool Compl = Items[I].first.find('~') != std::string::npos;
+    S.Instances.push_back(
+        make(S.Name, I, Items[I].first, Items[I].second, true, Compl));
+  }
+  return S;
+}
+
+BenchSuite sbd::makeDeterminizationBlowupFamily() {
+  BenchSuite S;
+  S.Name = "Determinization-Blowup";
+  std::vector<std::pair<std::string, bool>> Items;
+  for (int K : {4, 8, 12})
+    Items.push_back({"(.*a.{" + std::to_string(K) + "})&(.*b.{" +
+                         std::to_string(K) + "})",
+                     false});
+  for (int K : {4, 8, 12})
+    Items.push_back({"(.*a.{" + std::to_string(K) + "}.*)&(.*b.{" +
+                         std::to_string(K) + "}.*)",
+                     true});
+  for (int K : {8, 16})
+    Items.push_back({"~(.*a.{" + std::to_string(K) + "})", true});
+  for (int K : {8, 16})
+    Items.push_back({"~(.*a.{" + std::to_string(K) + "})&.*a.{" +
+                         std::to_string(K) + "}",
+                     false});
+  for (int K : {6, 10})
+    Items.push_back({".*a.{" + std::to_string(K) + "}&.{" +
+                         std::to_string(K) + "}",
+                     false});
+  Items.push_back({".*a.{10}&.{11}", true});
+  Items.push_back({"(.*a.{12})|(.*b.{12})", true});
+  for (size_t I = 0; I != Items.size(); ++I) {
+    bool Compl = Items[I].first.find('~') != std::string::npos;
+    S.Instances.push_back(
+        make(S.Name, I, Items[I].first, Items[I].second, true, Compl));
+  }
+  return S;
+}
+
+std::vector<BenchSuite> sbd::nonBooleanSuites(double Scale, uint64_t Seed) {
+  return {
+      makeKaluzaLike(scaledCount(5452, Scale), Seed + 1),
+      makeSlogLike(scaledCount(1976, Scale), Seed + 2),
+      makeNornLike(scaledCount(813, Scale), Seed + 3),
+  };
+}
+
+std::vector<BenchSuite> sbd::booleanSuites(double Scale, uint64_t Seed) {
+  return {
+      makeSyGuSLike(scaledCount(343, Scale), Seed + 4),
+      makeNornBooleanLike(scaledCount(147, Scale), Seed + 5),
+      makeRegExLibIntersection(scaledCount(55, Scale), Seed + 6),
+      makeRegExLibSubset(scaledCount(100, Scale), Seed + 7),
+  };
+}
+
+std::vector<BenchSuite> sbd::handwrittenSuites() {
+  return {
+      makeDateFamily(),
+      makePasswordFamily(),
+      makeBooleanLoopsFamily(),
+      makeDeterminizationBlowupFamily(),
+  };
+}

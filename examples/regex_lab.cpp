@@ -1,0 +1,175 @@
+//===- examples/regex_lab.cpp - Command-line regex laboratory ---------------===//
+///
+/// \file
+/// A small command-line tool exposing the library end to end:
+///
+///   regex_lab match  <regex> <string>     membership test
+///   regex_lab sat    <regex>              satisfiability + witness
+///   regex_lab equiv  <regex> <regex>      language equivalence
+///   regex_lab subset <regex> <regex>      containment (+ counterexample)
+///   regex_lab enum   <regex> [n]          first n words of the language
+///   regex_lab deriv  <regex> [ch]         symbolic derivative / D_ch
+///   regex_lab sbfa   <regex>              SBFA states + transitions
+///
+/// The regex syntax is the library's extended syntax: `&` intersection,
+/// `~` complement, `{m,n}` loops, classes, escapes (see re/RegexParser.h).
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/Dot.h"
+#include "automata/Sbfa.h"
+#include "core/LanguageOps.h"
+#include "re/RegexParser.h"
+#include "solver/RegexSolver.h"
+#include "support/Unicode.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace sbd;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s match|sat|equiv|subset|enum|deriv|sbfa <args>\n"
+               "  match  <regex> <string>\n"
+               "  sat    <regex>\n"
+               "  equiv  <regex> <regex>\n"
+               "  subset <regex> <regex>\n"
+               "  enum   <regex> [n=10]\n"
+               "  deriv  <regex> [char]\n"
+               "  sbfa   <regex>\n"
+               "  dot    <regex>            (GraphViz of the SBFA)\n",
+               Prog);
+  return 2;
+}
+
+Re parseOrExit(RegexManager &M, const char *Pattern) {
+  RegexParseResult R = parseRegex(M, Pattern);
+  if (!R.Ok) {
+    std::fprintf(stderr, "error: %s at offset %zu in \"%s\"\n",
+                 R.Error.c_str(), R.ErrorPos, Pattern);
+    std::exit(2);
+  }
+  return R.Value;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage(Argv[0]);
+
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  RegexSolver S(E);
+  const char *Cmd = Argv[1];
+
+  if (!std::strcmp(Cmd, "match") && Argc == 4) {
+    Re R = parseOrExit(M, Argv[2]);
+    bool Ok = E.matches(R, std::string(Argv[3]));
+    std::printf("%s\n", Ok ? "match" : "no match");
+    return Ok ? 0 : 1;
+  }
+
+  if (!std::strcmp(Cmd, "sat") && Argc == 3) {
+    Re R = parseOrExit(M, Argv[2]);
+    SolveResult Res = S.checkSat(R);
+    std::printf("%s", statusName(Res.Status));
+    if (Res.isSat())
+      std::printf("  witness: \"%s\"", escapeWord(Res.Witness).c_str());
+    std::printf("  (%zu states)\n", Res.StatesExplored);
+    return Res.isSat() ? 0 : 1;
+  }
+
+  if (!std::strcmp(Cmd, "equiv") && Argc == 4) {
+    Re A = parseOrExit(M, Argv[2]);
+    Re B = parseOrExit(M, Argv[3]);
+    SolveResult Res = S.checkEquivalent(A, B);
+    if (Res.isUnsat()) {
+      std::printf("equivalent\n");
+      return 0;
+    }
+    if (Res.isSat()) {
+      bool InA = E.matches(A, Res.Witness);
+      std::printf("different: \"%s\" is in %s only\n",
+                  escapeWord(Res.Witness).c_str(), InA ? Argv[2] : Argv[3]);
+      return 1;
+    }
+    std::printf("unknown\n");
+    return 3;
+  }
+
+  if (!std::strcmp(Cmd, "subset") && Argc == 4) {
+    Re A = parseOrExit(M, Argv[2]);
+    Re B = parseOrExit(M, Argv[3]);
+    SolveResult Res = S.checkContains(A, B);
+    if (Res.isUnsat()) {
+      std::printf("subset holds\n");
+      return 0;
+    }
+    if (Res.isSat()) {
+      std::printf("not a subset: counterexample \"%s\"\n",
+                  escapeWord(Res.Witness).c_str());
+      return 1;
+    }
+    std::printf("unknown\n");
+    return 3;
+  }
+
+  if (!std::strcmp(Cmd, "enum") && (Argc == 3 || Argc == 4)) {
+    Re R = parseOrExit(M, Argv[2]);
+    size_t N = Argc == 4 ? std::strtoull(Argv[3], nullptr, 10) : 10;
+    auto Words = enumerateLanguage(E, R, N);
+    for (const auto &W : Words)
+      std::printf("\"%s\"\n", escapeWord(W).c_str());
+    if (Words.empty())
+      std::printf("(empty language)\n");
+    return 0;
+  }
+
+  if (!std::strcmp(Cmd, "deriv") && (Argc == 3 || Argc == 4)) {
+    Re R = parseOrExit(M, Argv[2]);
+    std::printf("R        = %s\n", M.toString(R).c_str());
+    std::printf("nullable = %s\n", M.nullable(R) ? "true" : "false");
+    std::printf("δ(R)     = %s\n", T.toString(E.derivative(R)).c_str());
+    std::printf("δdnf(R)  = %s\n", T.toString(E.derivativeDnf(R)).c_str());
+    if (Argc == 4 && Argv[3][0]) {
+      uint32_t Ch = fromUtf8(Argv[3])[0];
+      std::printf("D_%s(R)   = %s\n", escapeCodePoint(Ch).c_str(),
+                  M.toString(E.brzozowski(R, Ch)).c_str());
+    }
+    return 0;
+  }
+
+  if (!std::strcmp(Cmd, "dot") && Argc == 3) {
+    Re R = parseOrExit(M, Argv[2]);
+    auto A = Sbfa::build(E, R, /*MaxStates=*/2000);
+    if (!A) {
+      std::fprintf(stderr, "state budget exceeded\n");
+      return 3;
+    }
+    std::printf("%s", sbfaToDot(*A).c_str());
+    return 0;
+  }
+
+  if (!std::strcmp(Cmd, "sbfa") && Argc == 3) {
+    Re R = parseOrExit(M, Argv[2]);
+    auto A = Sbfa::build(E, R, /*MaxStates=*/10000);
+    if (!A) {
+      std::printf("state budget exceeded\n");
+      return 3;
+    }
+    std::printf("|Q| = %zu, #(R) = %u\n", A->numStates(),
+                M.node(R).NumPreds);
+    for (uint32_t Q = 0; Q != A->numStates(); ++Q)
+      std::printf("q%-3u %s %-30s ∆ = %s\n", Q, A->isFinal(Q) ? "F" : " ",
+                  M.toString(A->states()[Q]).c_str(),
+                  T.toString(A->transition(Q)).c_str());
+    return 0;
+  }
+
+  return usage(Argv[0]);
+}

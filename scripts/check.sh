@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-shot verification: configure, build, run the full test suite, run the
+# benchmark harness, and (optionally) repeat the tests under ASan+UBSan.
+#
+#   scripts/check.sh            # build + test + bench
+#   scripts/check.sh --asan     # additionally run the sanitizer suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done
+
+if [ "${1:-}" = "--asan" ]; then
+  cmake -B build-asan -G Ninja -DSBD_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
+echo "all checks passed"

@@ -1,0 +1,86 @@
+//===- automata/BoolExpr.h - Boolean state combinations B(Q) ----------------===//
+///
+/// \file
+/// Hash-consed Boolean expressions over abstract atoms (automaton states).
+/// These represent the B(Q) / B+(Q) state combinations of Section 7: the
+/// run of an SBFA or SAFA is a Boolean expression over states that evolves
+/// by simultaneous substitution, and acceptance is evaluation under the
+/// final-state assignment ν_F.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_AUTOMATA_BOOLEXPR_H
+#define SBD_AUTOMATA_BOOLEXPR_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sbd {
+
+/// Node kinds of a Boolean expression.
+enum class BoolExprKind : uint8_t { False, True, Atom, And, Or, Not };
+
+/// Handle to an interned Boolean expression.
+struct BE {
+  uint32_t Id = 0;
+
+  friend bool operator==(BE A, BE B) { return A.Id == B.Id; }
+  friend bool operator!=(BE A, BE B) { return A.Id != B.Id; }
+  friend bool operator<(BE A, BE B) { return A.Id < B.Id; }
+};
+
+/// Interned node storage.
+struct BoolExprNode {
+  BoolExprKind Kind;
+  uint32_t Atom = 0;    ///< Atom only
+  std::vector<BE> Kids; ///< And/Or: n-ary sorted; Not: 1
+};
+
+/// Arena + ACI-normalizing constructors for Boolean expressions.
+class BoolExprManager {
+public:
+  BoolExprManager();
+
+  BE falseExpr() const { return FalseBe; }
+  BE trueExpr() const { return TrueBe; }
+  BE atom(uint32_t A);
+  BE and_(std::vector<BE> Kids);
+  BE or_(std::vector<BE> Kids);
+  BE and2(BE A, BE B) { return and_({A, B}); }
+  BE or2(BE A, BE B) { return or_({A, B}); }
+  BE not_(BE A);
+
+  const BoolExprNode &node(BE E) const { return Nodes[E.Id]; }
+
+  /// Evaluates under a truth assignment for atoms.
+  bool eval(BE E, const std::function<bool(uint32_t)> &Assign) const;
+
+  /// Simultaneous substitution of atoms by expressions (the alternating
+  /// automaton step).
+  BE substitute(BE E, const std::function<BE(uint32_t)> &Map);
+
+  /// True when E contains no negation (B+(Q)).
+  bool isPositive(BE E) const;
+
+  /// Atoms occurring in E (sorted, distinct).
+  std::vector<uint32_t> atoms(BE E) const;
+
+  /// Rendering with a custom atom printer.
+  std::string toString(BE E,
+                       const std::function<std::string(uint32_t)> &Name) const;
+
+private:
+  BE intern(BoolExprNode Node);
+  BE makeBool(BoolExprKind K, std::vector<BE> Kids);
+
+  std::vector<BoolExprNode> Nodes;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> ConsTable;
+  BE FalseBe, TrueBe;
+};
+
+} // namespace sbd
+
+#endif // SBD_AUTOMATA_BOOLEXPR_H

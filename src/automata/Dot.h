@@ -1,0 +1,34 @@
+//===- automata/Dot.h - GraphViz rendering of automata ------------------------===//
+///
+/// \file
+/// DOT (GraphViz) renderers for the automata and graphs in this library —
+/// used by examples and handy when debugging solver behaviour. Each
+/// function returns a complete `digraph { … }` document; render with
+/// `dot -Tsvg`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_AUTOMATA_DOT_H
+#define SBD_AUTOMATA_DOT_H
+
+#include "automata/Sbfa.h"
+#include "automata/Sfa.h"
+
+#include <string>
+
+namespace sbd {
+
+/// Renders an SBFA: states labelled by their regexes (double circles for
+/// final states), edges labelled by guard blocks with Boolean-combination
+/// targets expanded per arc.
+std::string sbfaToDot(const Sbfa &A);
+
+/// Renders a symbolic NFA.
+std::string nfaToDot(const Snfa &A);
+
+/// Renders a complete symbolic DFA.
+std::string dfaToDot(const Sdfa &A);
+
+} // namespace sbd
+
+#endif // SBD_AUTOMATA_DOT_H

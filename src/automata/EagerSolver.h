@@ -1,0 +1,61 @@
+//===- automata/EagerSolver.h - Eager automata baseline ---------------------===//
+///
+/// \file
+/// The "existing solution #1" baseline of the paper's introduction: convert
+/// each regex into an automaton eagerly and propagate Boolean connectives
+/// into automata operations — products for `&`/`|` and
+/// determinize-then-flip for `~`. The entire state space is materialized up
+/// front, so constraints like `~(.*a.{100})` or `(.*a.{k})&(.*b.{k})`
+/// exhibit the exponential blowup that motivates symbolic Boolean
+/// derivatives.
+///
+/// Two policies are provided:
+///  - `Determinize` (default): Boolean nodes operate on DFAs (classic
+///    eager product-automaton pipeline; complement is free, `&`/`|` are
+///    DFA products, but determinization pays the exponential).
+///  - `NfaProduct`: keeps `&`/`|` on NFAs and determinizes only for `~`
+///    (an ablation showing where exactly the blowup comes from).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_AUTOMATA_EAGERSOLVER_H
+#define SBD_AUTOMATA_EAGERSOLVER_H
+
+#include "automata/Glushkov.h"
+#include "automata/Sfa.h"
+#include "solver/SolverResult.h"
+
+namespace sbd {
+
+/// Eager automata-based satisfiability solver for ERE.
+class EagerSolver {
+public:
+  enum class Policy : uint8_t {
+    Determinize,         ///< DFA at every Boolean node (classic pipeline)
+    DeterminizeMinimize, ///< as Determinize, plus minimization after every
+                         ///< determinization/product ("after the fact")
+    NfaProduct,          ///< NFA products for & and |; determinize for ~
+  };
+
+  explicit EagerSolver(RegexManager &M, Policy P = Policy::Determinize)
+      : M(M), Pol(P) {}
+
+  /// Decides nonemptiness of L(R) by building the automaton eagerly.
+  SolveResult solve(Re R, const SolveOptions &Opts = {});
+
+  /// States constructed by the most recent solve() (blowup metric).
+  size_t lastStatesBuilt() const { return StatesBuilt; }
+
+private:
+  std::optional<Snfa> compileNfa(Re R, size_t MaxStates, bool &TimedOut);
+
+  RegexManager &M;
+  Policy Pol;
+  size_t StatesBuilt = 0;
+  int64_t DeadlineMs = 0;
+  const class Stopwatch *Timer = nullptr;
+};
+
+} // namespace sbd
+
+#endif // SBD_AUTOMATA_EAGERSOLVER_H

@@ -1,0 +1,29 @@
+//===- automata/Glushkov.h - Plain RE → symbolic NFA -----------------------===//
+///
+/// \file
+/// Epsilon-free (Glushkov-style) compilation of the *plain* RE fragment
+/// (no complement, no intersection) into a symbolic NFA. Bounded loops are
+/// unrolled — r{m,n} becomes m copies plus n−m optional copies — which is
+/// exactly the eager cost the paper's benchmarks exercise: `.{k}` towers
+/// multiply automaton size where a derivative just counts down a loop bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_AUTOMATA_GLUSHKOV_H
+#define SBD_AUTOMATA_GLUSHKOV_H
+
+#include "automata/Sfa.h"
+#include "re/Regex.h"
+
+#include <optional>
+
+namespace sbd {
+
+/// Compiles R ∈ RE into an NFA; fails (nullopt) when R uses `~`/`&` or when
+/// loop unrolling exceeds \p MaxStates states (0 = unlimited).
+std::optional<Snfa> compileReToNfa(const RegexManager &M, Re R,
+                                   size_t MaxStates = 0);
+
+} // namespace sbd
+
+#endif // SBD_AUTOMATA_GLUSHKOV_H

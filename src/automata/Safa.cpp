@@ -1,0 +1,109 @@
+//===- automata/Safa.cpp - Symbolic Alternating Finite Automata -------------===//
+
+#include "automata/Safa.h"
+
+#include "support/Debug.h"
+
+#include <cassert>
+
+using namespace sbd;
+
+namespace {
+
+/// Pushes negation down to atoms, mapping a negated atom q to its shadow
+/// state q + N (Section 8.3: "adding negated states q̄ to Q and letting
+/// ∆(q̄) = NNF(~∆(q))"). \p Positive tracks the current polarity.
+BE nnfWithShadows(BoolExprManager &B, BE E, bool Positive, size_t N) {
+  // Copy: recursion below may grow the arena.
+  BoolExprNode Node = B.node(E);
+  switch (Node.Kind) {
+  case BoolExprKind::False:
+    return Positive ? B.falseExpr() : B.trueExpr();
+  case BoolExprKind::True:
+    return Positive ? B.trueExpr() : B.falseExpr();
+  case BoolExprKind::Atom: {
+    uint32_t Atom = Node.Atom;
+    assert(Atom < N && "expressions from an SBFA use original states only");
+    return B.atom(Positive ? Atom : Atom + static_cast<uint32_t>(N));
+  }
+  case BoolExprKind::Not:
+    return nnfWithShadows(B, Node.Kids[0], !Positive, N);
+  case BoolExprKind::And:
+  case BoolExprKind::Or: {
+    std::vector<BE> Kids = Node.Kids;
+    for (BE &Kid : Kids)
+      Kid = nnfWithShadows(B, Kid, Positive, N);
+    bool MakeAnd = (Node.Kind == BoolExprKind::And) == Positive;
+    return MakeAnd ? B.and_(std::move(Kids)) : B.or_(std::move(Kids));
+  }
+  }
+  sbd_unreachable("covered switch");
+}
+
+} // namespace
+
+Safa Safa::fromSbfa(const Sbfa &A) {
+  Safa S;
+  size_t N = A.numStates();
+  // States double: q + N is the negated shadow of q, accepting iff q does
+  // not. Shadows that are never referenced simply have no incoming atoms.
+  S.NumStates = 2 * N;
+  S.Final.resize(S.NumStates);
+  S.ByState.resize(S.NumStates);
+  for (uint32_t Q = 0; Q != N; ++Q) {
+    S.Final[Q] = A.isFinal(Q);
+    S.Final[Q + N] = !A.isFinal(Q);
+  }
+
+  TrManager &T = A.engine().trManager();
+  S.Initial = nnfWithShadows(*S.Exprs, A.configInitial(*S.Exprs), true, N);
+
+  // Local mintermization: the guards of ∆(q) induce a finite partition of
+  // the alphabet; ∆(q)(a) is constant on each partition block (Section
+  // 8.3), so one representative per block determines the transition target.
+  for (uint32_t Q = 0; Q != N; ++Q) {
+    std::vector<CharSet> Guards;
+    T.collectGuards(A.transition(Q), Guards);
+    for (const CharSet &Block : computeMinterms(Guards)) {
+      auto Rep = Block.sample();
+      assert(Rep && "minterms are nonempty");
+      BE Raw = A.configAfter(*S.Exprs, Q, *Rep);
+      BE Target = nnfWithShadows(*S.Exprs, Raw, true, N);
+      if (Target != S.Exprs->falseExpr()) {
+        S.ByState[Q].push_back(static_cast<uint32_t>(S.Transitions.size()));
+        S.Transitions.push_back({Q, Block, Target});
+      }
+      // The shadow state's transition on the same block is the negation.
+      BE ShadowTarget = nnfWithShadows(*S.Exprs, Raw, false, N);
+      if (ShadowTarget != S.Exprs->falseExpr()) {
+        uint32_t From = Q + static_cast<uint32_t>(N);
+        S.ByState[From].push_back(
+            static_cast<uint32_t>(S.Transitions.size()));
+        S.Transitions.push_back({From, Block, ShadowTarget});
+      }
+    }
+  }
+  return S;
+}
+
+bool Safa::accepts(const std::vector<uint32_t> &Word) {
+  BoolExprManager &B = *Exprs;
+  BE Config = Initial;
+  for (uint32_t Ch : Word) {
+    Config = B.substitute(Config, [&](uint32_t State) {
+      std::vector<BE> Matching;
+      for (uint32_t TIdx : ByState[State]) {
+        const Transition &Tr = Transitions[TIdx];
+        if (Tr.Guard.contains(Ch))
+          Matching.push_back(Tr.Target);
+      }
+      // OR over the nondeterministic transition choices; none ⇒ q⊥.
+      return B.or_(std::move(Matching));
+    });
+    if (Config == B.falseExpr())
+      return false;
+    if (Config == B.trueExpr())
+      return true;
+  }
+  return B.eval(Config, [&](uint32_t State) { return Final[State]; });
+}

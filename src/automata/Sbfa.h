@@ -1,0 +1,122 @@
+//===- automata/Sbfa.h - Symbolic Boolean Finite Automata (Section 7) ------===//
+///
+/// \file
+/// Symbolic Boolean Finite Automata: M = (A, Q, ι, F, q⊥, ∆) with
+/// ∆ : Q → TR_Q. This is the paper's unifying automaton model; the
+/// derivatives of an extended regex correspond to the states of SBFA(R):
+///
+///   Q = δ⁺(R) ∪ {R, ⊥, .*},  ι = R,  F = {q ∈ Q : ν(q)},  ∆ = δ↾Q.
+///
+/// *State granularity.* Following the construction under Theorem 7.1, a
+/// terminal of a transition regex is found by descending through `if`,
+/// `|`, `&` and `~` — including the Boolean structure at the top of ERE
+/// leaves — so states (other than possibly ι) are never conjunctions,
+/// disjunctions or complements; Boolean structure lives in the transitions
+/// as B(Q) combinations. This is precisely what makes Theorem 7.3 work:
+/// for clean, normalized, loop-free R ∈ B(RE), |Q| ≤ ♯(R) + 3. (The
+/// solver of Section 5 deliberately uses the coarser conjunction-of-states
+/// granularity — leaves of δdnf — which is exponential in the worst case;
+/// see the Complexity discussion in the paper.)
+///
+/// Runs are Boolean combinations over Q evolved by simultaneous
+/// substitution of each state atom with ∆(q)(a); acceptance evaluates the
+/// final combination under ν_F. `accepts` implements this alternating
+/// semantics literally — it is deliberately *not* routed through the
+/// derivative matcher, so Theorem 7.2 (L(M) = L(R)) is checkable by
+/// comparing the two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_AUTOMATA_SBFA_H
+#define SBD_AUTOMATA_SBFA_H
+
+#include "automata/BoolExpr.h"
+#include "core/Derivatives.h"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+namespace sbd {
+
+/// An SBFA constructed from a regex; states are interned regexes.
+class Sbfa {
+public:
+  /// Builds SBFA(R) by computing the δ⁺ fixpoint over atomic terminals.
+  /// Returns nullopt if more than \p MaxStates states are produced
+  /// (0 = unlimited).
+  static std::optional<Sbfa> build(DerivativeEngine &Engine, Re R,
+                                   size_t MaxStates = 0);
+
+  /// Total number of states |Q| (includes ⊥, .*, and ι).
+  size_t numStates() const { return States.size(); }
+
+  /// The regex each state stands for.
+  const std::vector<Re> &states() const { return States; }
+
+  /// Index of the initial state ι (the regex R itself; the only state that
+  /// may be a Boolean combination).
+  uint32_t initialState() const { return Initial; }
+  /// Index of the bottom state q⊥.
+  uint32_t bottomState() const { return Bottom; }
+  /// Index of the top state .* (= ~q⊥).
+  uint32_t topState() const { return Top; }
+
+  /// ∆(q): the transition regex of a state (terminals are states of Q).
+  Tr transition(uint32_t State) const { return Delta[State]; }
+
+  /// ν_F on plain states.
+  bool isFinal(uint32_t State) const { return Final[State]; }
+
+  /// Alternating-run acceptance: evolves ι through ∆ by substitution and
+  /// evaluates under ν_F (the Section 7 semantics).
+  bool accepts(const std::vector<uint32_t> &Word);
+
+  /// State index of a regex, if it is a state.
+  std::optional<uint32_t> stateOf(Re R) const;
+
+  /// ∆(State)(Ch) as a Boolean combination over state atoms (q⊥ ↦ false,
+  /// .* ↦ true; leaf regexes decompose through their own |, &, ~). Shared
+  /// by the alternating run and by the SAFA conversion.
+  BE configAfter(BoolExprManager &B, uint32_t State, uint32_t Ch) const;
+
+  /// ι as a run configuration: the atom of the initial state (false/true
+  /// when R is ⊥/.*).
+  BE configInitial(BoolExprManager &B) const {
+    if (Initial == Bottom)
+      return B.falseExpr();
+    if (Initial == Top)
+      return B.trueExpr();
+    return B.atom(Initial);
+  }
+
+  /// The engine (and thereby the arenas) this automaton lives in.
+  DerivativeEngine &engine() const { return *Engine; }
+
+private:
+  explicit Sbfa(DerivativeEngine &Engine)
+      : Engine(&Engine), Exprs(std::make_unique<BoolExprManager>()) {}
+
+  /// Decomposes the Boolean structure of an ERE into atomic terminals.
+  void collectAtomics(Re R, std::vector<Re> &Out) const;
+  /// Interns an *atomic* regex as a state.
+  uint32_t internState(Re R);
+  /// Translates a leaf regex into B(Q) over atomic states.
+  BE leafToExpr(BoolExprManager &B, Re R) const;
+  BE trToExpr(BoolExprManager &B, Tr Node, uint32_t Ch) const;
+
+  DerivativeEngine *Engine;
+  std::unique_ptr<BoolExprManager> Exprs; // owns the run configurations
+  std::vector<Re> States;
+  std::vector<Tr> Delta;
+  std::vector<bool> Final;
+  std::unordered_map<uint32_t, uint32_t> StateIndex; // Re.Id -> state
+  uint32_t Initial = 0;
+  uint32_t Bottom = 0;
+  uint32_t Top = 0;
+  BE InitialExpr{};
+};
+
+} // namespace sbd
+
+#endif // SBD_AUTOMATA_SBFA_H

@@ -1,0 +1,456 @@
+//===- automata/Sfa.cpp - Classical symbolic NFA / DFA ----------------------===//
+
+#include "automata/Sfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace sbd;
+
+size_t Snfa::numTransitions() const {
+  size_t N = 0;
+  for (const auto &Out : Trans)
+    N += Out.size();
+  return N;
+}
+
+bool Snfa::acceptsEmptyWord() const {
+  for (uint32_t S : Initial)
+    if (Final[S])
+      return true;
+  return false;
+}
+
+bool Snfa::accepts(const std::vector<uint32_t> &Word) const {
+  std::set<uint32_t> Cur(Initial.begin(), Initial.end());
+  for (uint32_t Ch : Word) {
+    std::set<uint32_t> Next;
+    for (uint32_t S : Cur)
+      for (const auto &[Guard, To] : Trans[S])
+        if (Guard.contains(Ch))
+          Next.insert(To);
+    Cur = std::move(Next);
+    if (Cur.empty())
+      return false;
+  }
+  for (uint32_t S : Cur)
+    if (Final[S])
+      return true;
+  return false;
+}
+
+std::optional<std::vector<uint32_t>> Snfa::findWitness() const {
+  struct Parent {
+    uint32_t State;
+    uint32_t Ch;
+    bool HasParent;
+  };
+  std::vector<Parent> Parents(numStates(), {0, 0, false});
+  std::vector<bool> Seen(numStates(), false);
+  std::deque<uint32_t> Work;
+  for (uint32_t S : Initial) {
+    if (Seen[S])
+      continue;
+    Seen[S] = true;
+    Work.push_back(S);
+  }
+  while (!Work.empty()) {
+    uint32_t Cur = Work.front();
+    Work.pop_front();
+    if (Final[Cur]) {
+      std::vector<uint32_t> Word;
+      uint32_t S = Cur;
+      while (Parents[S].HasParent) {
+        Word.push_back(Parents[S].Ch);
+        S = Parents[S].State;
+      }
+      std::reverse(Word.begin(), Word.end());
+      return Word;
+    }
+    for (const auto &[Guard, To] : Trans[Cur]) {
+      if (Seen[To] || Guard.isEmpty())
+        continue;
+      Seen[To] = true;
+      Parents[To] = {Cur, *Guard.sample(), true};
+      Work.push_back(To);
+    }
+  }
+  return std::nullopt;
+}
+
+Snfa Snfa::empty() {
+  Snfa A;
+  A.Trans.resize(1);
+  A.Initial = {0};
+  A.Final = {false};
+  return A;
+}
+
+Snfa Snfa::epsilon() {
+  Snfa A;
+  A.Trans.resize(1);
+  A.Initial = {0};
+  A.Final = {true};
+  return A;
+}
+
+Snfa Snfa::pred(const CharSet &Set) {
+  Snfa A;
+  A.Trans.resize(2);
+  if (!Set.isEmpty())
+    A.Trans[0].push_back({Set, 1});
+  A.Initial = {0};
+  A.Final = {false, true};
+  return A;
+}
+
+/// Appends B's states after A's, returning the index offset of B.
+static uint32_t appendStates(Snfa &A, const Snfa &B) {
+  uint32_t Offset = static_cast<uint32_t>(A.Trans.size());
+  for (const auto &Out : B.Trans) {
+    A.Trans.emplace_back();
+    for (const auto &[Guard, To] : Out)
+      A.Trans.back().push_back({Guard, To + Offset});
+    A.Final.push_back(false);
+  }
+  return Offset;
+}
+
+Snfa Snfa::concat(const Snfa &A, const Snfa &B) {
+  // Epsilon-free concatenation: every final state of A additionally gets
+  // the outgoing transitions of B's initial states; finality comes from B
+  // (plus A's finals when B accepts ε).
+  Snfa R = A;
+  std::fill(R.Final.begin(), R.Final.end(), false);
+  uint32_t Offset = appendStates(R, B);
+  for (uint32_t S = 0; S != A.numStates(); ++S) {
+    if (!A.Final[S])
+      continue;
+    for (uint32_t BI : B.Initial)
+      for (const auto &[Guard, To] : B.Trans[BI])
+        R.Trans[S].push_back({Guard, To + Offset});
+    if (B.acceptsEmptyWord())
+      R.Final[S] = true;
+  }
+  for (uint32_t S = 0; S != B.numStates(); ++S)
+    if (B.Final[S])
+      R.Final[S + Offset] = true;
+  R.Initial = A.Initial;
+  return R;
+}
+
+Snfa Snfa::star(const Snfa &A) {
+  // Fresh accepting initial state; loops from finals back to the initial
+  // transitions.
+  Snfa R;
+  R.Trans.resize(1);
+  R.Final = {true};
+  uint32_t Offset = appendStates(R, A);
+  for (uint32_t AI : A.Initial)
+    for (const auto &[Guard, To] : A.Trans[AI])
+      R.Trans[0].push_back({Guard, To + Offset});
+  for (uint32_t S = 0; S != A.numStates(); ++S) {
+    if (!A.Final[S])
+      continue;
+    R.Final[S + Offset] = true;
+    for (uint32_t AI : A.Initial)
+      for (const auto &[Guard, To] : A.Trans[AI])
+        R.Trans[S + Offset].push_back({Guard, To + Offset});
+  }
+  R.Initial = {0};
+  return R;
+}
+
+Snfa Snfa::alternate(const Snfa &A, const Snfa &B) {
+  Snfa R = A;
+  uint32_t Offset = appendStates(R, B);
+  for (uint32_t S = 0; S != B.numStates(); ++S)
+    if (B.Final[S])
+      R.Final[S + Offset] = true;
+  R.Initial = A.Initial;
+  for (uint32_t BI : B.Initial)
+    R.Initial.push_back(BI + Offset);
+  return R;
+}
+
+std::optional<Snfa> Snfa::product(const Snfa &A, const Snfa &B,
+                                  size_t MaxStates) {
+  Snfa R;
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> Index;
+  std::deque<std::pair<uint32_t, uint32_t>> Work;
+  auto internPair = [&](uint32_t X, uint32_t Y) -> std::optional<uint32_t> {
+    auto [It, Inserted] = Index.emplace(std::make_pair(X, Y),
+                                        static_cast<uint32_t>(R.Trans.size()));
+    if (Inserted) {
+      if (MaxStates && R.Trans.size() >= MaxStates)
+        return std::nullopt;
+      R.Trans.emplace_back();
+      R.Final.push_back(A.Final[X] && B.Final[Y]);
+      Work.push_back({X, Y});
+    }
+    return It->second;
+  };
+  for (uint32_t AI : A.Initial)
+    for (uint32_t BI : B.Initial) {
+      auto S = internPair(AI, BI);
+      if (!S)
+        return std::nullopt;
+      R.Initial.push_back(*S);
+    }
+  while (!Work.empty()) {
+    auto [X, Y] = Work.front();
+    Work.pop_front();
+    uint32_t From = Index.at({X, Y});
+    for (const auto &[GA, TA] : A.Trans[X])
+      for (const auto &[GB, TB] : B.Trans[Y]) {
+        CharSet G = GA.intersectWith(GB);
+        if (G.isEmpty())
+          continue;
+        auto To = internPair(TA, TB);
+        if (!To)
+          return std::nullopt;
+        R.Trans[From].push_back({G, *To});
+      }
+  }
+  return R;
+}
+
+bool Sdfa::accepts(const std::vector<uint32_t> &Word) const {
+  uint32_t Cur = Initial;
+  for (uint32_t Ch : Word) {
+    bool Moved = false;
+    for (const auto &[Guard, To] : Trans[Cur]) {
+      if (Guard.contains(Ch)) {
+        Cur = To;
+        Moved = true;
+        break;
+      }
+    }
+    assert(Moved && "complete DFA must always move");
+    if (!Moved)
+      return false;
+  }
+  return Final[Cur];
+}
+
+std::optional<Sdfa> Sdfa::determinize(const Snfa &A, size_t MaxStates) {
+  Sdfa D;
+  std::map<std::vector<uint32_t>, uint32_t> Index;
+  std::deque<std::vector<uint32_t>> Work;
+
+  auto internSet =
+      [&](std::vector<uint32_t> Set) -> std::optional<uint32_t> {
+    std::sort(Set.begin(), Set.end());
+    Set.erase(std::unique(Set.begin(), Set.end()), Set.end());
+    auto [It, Inserted] =
+        Index.emplace(Set, static_cast<uint32_t>(D.Trans.size()));
+    if (Inserted) {
+      if (MaxStates && D.Trans.size() >= MaxStates)
+        return std::nullopt;
+      D.Trans.emplace_back();
+      bool IsFinal = false;
+      for (uint32_t S : Set)
+        IsFinal = IsFinal || A.Final[S];
+      D.Final.push_back(IsFinal);
+      Work.push_back(Set);
+    }
+    return It->second;
+  };
+
+  auto Init = internSet(A.Initial);
+  if (!Init)
+    return std::nullopt;
+  D.Initial = *Init;
+
+  while (!Work.empty()) {
+    std::vector<uint32_t> Set = Work.front();
+    Work.pop_front();
+    uint32_t From = Index.at(Set);
+    // Local mintermization of the outgoing guards of this subset.
+    std::vector<CharSet> Guards;
+    for (uint32_t S : Set)
+      for (const auto &[Guard, To] : A.Trans[S])
+        Guards.push_back(Guard);
+    for (const CharSet &Block : computeMinterms(Guards)) {
+      std::vector<uint32_t> Targets;
+      auto Rep = Block.minElement();
+      for (uint32_t S : Set)
+        for (const auto &[Guard, To] : A.Trans[S])
+          if (Guard.contains(*Rep))
+            Targets.push_back(To);
+      auto To = internSet(std::move(Targets)); // ∅ = the sink state
+      if (!To)
+        return std::nullopt;
+      D.Trans[From].push_back({Block, *To});
+    }
+  }
+  return D;
+}
+
+std::optional<Sdfa> Sdfa::product(const Sdfa &A, const Sdfa &B, bool IsUnion,
+                                  size_t MaxStates) {
+  Sdfa D;
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> Index;
+  std::deque<std::pair<uint32_t, uint32_t>> Work;
+  auto internPair = [&](uint32_t X, uint32_t Y) -> std::optional<uint32_t> {
+    auto [It, Inserted] = Index.emplace(std::make_pair(X, Y),
+                                        static_cast<uint32_t>(D.Trans.size()));
+    if (Inserted) {
+      if (MaxStates && D.Trans.size() >= MaxStates)
+        return std::nullopt;
+      D.Trans.emplace_back();
+      D.Final.push_back(IsUnion ? (A.Final[X] || B.Final[Y])
+                                : (A.Final[X] && B.Final[Y]));
+      Work.push_back({X, Y});
+    }
+    return It->second;
+  };
+  auto Init = internPair(A.Initial, B.Initial);
+  if (!Init)
+    return std::nullopt;
+  D.Initial = *Init;
+  while (!Work.empty()) {
+    auto [X, Y] = Work.front();
+    Work.pop_front();
+    uint32_t From = Index.at({X, Y});
+    for (const auto &[GA, TA] : A.Trans[X])
+      for (const auto &[GB, TB] : B.Trans[Y]) {
+        CharSet G = GA.intersectWith(GB);
+        if (G.isEmpty())
+          continue;
+        auto To = internPair(TA, TB);
+        if (!To)
+          return std::nullopt;
+        D.Trans[From].push_back({G, *To});
+      }
+  }
+  return D;
+}
+
+Sdfa Sdfa::complement() const {
+  Sdfa D = *this;
+  for (size_t I = 0; I != D.Final.size(); ++I)
+    D.Final[I] = !D.Final[I];
+  return D;
+}
+
+std::optional<std::vector<uint32_t>> Sdfa::findWitness() const {
+  // BFS for a shortest accepted word.
+  struct Parent {
+    uint32_t State;
+    uint32_t Ch;
+    bool HasParent;
+  };
+  std::vector<Parent> Parents(numStates(), {0, 0, false});
+  std::vector<bool> Seen(numStates(), false);
+  std::deque<uint32_t> Work = {Initial};
+  Seen[Initial] = true;
+  while (!Work.empty()) {
+    uint32_t Cur = Work.front();
+    Work.pop_front();
+    if (Final[Cur]) {
+      std::vector<uint32_t> Word;
+      uint32_t S = Cur;
+      while (Parents[S].HasParent) {
+        Word.push_back(Parents[S].Ch);
+        S = Parents[S].State;
+      }
+      std::reverse(Word.begin(), Word.end());
+      return Word;
+    }
+    for (const auto &[Guard, To] : Trans[Cur]) {
+      if (Seen[To] || Guard.isEmpty())
+        continue;
+      Seen[To] = true;
+      Parents[To] = {Cur, *Guard.sample(), true};
+      Work.push_back(To);
+    }
+  }
+  return std::nullopt;
+}
+
+Sdfa Sdfa::minimize() const {
+  // Block id per state; initial partition: final vs non-final.
+  std::vector<uint32_t> Block(numStates());
+  for (size_t S = 0; S != numStates(); ++S)
+    Block[S] = Final[S] ? 1 : 0;
+
+  // Refine until stable: the signature of a state is, per successor block,
+  // the union of guards leading into it (canonical CharSets, sorted by
+  // block id). Two states stay together iff their signatures match.
+  while (true) {
+    std::map<std::pair<uint32_t, std::vector<std::pair<uint32_t, CharSet>>>,
+             uint32_t>
+        SigIndex;
+    std::vector<uint32_t> NewBlock(numStates());
+    for (size_t S = 0; S != numStates(); ++S) {
+      std::map<uint32_t, CharSet> PerBlock;
+      for (const auto &[Guard, To] : Trans[S]) {
+        auto [It, Inserted] = PerBlock.emplace(Block[To], Guard);
+        if (!Inserted)
+          It->second = It->second.unionWith(Guard);
+      }
+      std::vector<std::pair<uint32_t, CharSet>> Sig(PerBlock.begin(),
+                                                    PerBlock.end());
+      auto Key = std::make_pair(Block[S], std::move(Sig));
+      auto [It, Inserted] = SigIndex.emplace(
+          std::move(Key), static_cast<uint32_t>(SigIndex.size()));
+      NewBlock[S] = It->second;
+    }
+    if (NewBlock == Block)
+      break;
+    Block = std::move(NewBlock);
+  }
+
+  // Rebuild the quotient automaton over reachable blocks only.
+  uint32_t NumBlocks = 0;
+  for (uint32_t B : Block)
+    NumBlocks = std::max(NumBlocks, B + 1);
+  std::vector<uint32_t> Repr(NumBlocks, UINT32_MAX);
+  for (size_t S = 0; S != numStates(); ++S)
+    if (Repr[Block[S]] == UINT32_MAX)
+      Repr[Block[S]] = static_cast<uint32_t>(S);
+
+  Sdfa Min;
+  std::vector<uint32_t> Renumber(NumBlocks, UINT32_MAX);
+  std::deque<uint32_t> Work;
+  auto internBlock = [&](uint32_t B) {
+    if (Renumber[B] == UINT32_MAX) {
+      Renumber[B] = static_cast<uint32_t>(Min.Trans.size());
+      Min.Trans.emplace_back();
+      Min.Final.push_back(Final[Repr[B]]);
+      Work.push_back(B);
+    }
+    return Renumber[B];
+  };
+  Min.Initial = internBlock(Block[Initial]);
+  while (!Work.empty()) {
+    uint32_t B = Work.front();
+    Work.pop_front();
+    uint32_t From = Renumber[B];
+    // Merge guards per successor block from the representative.
+    std::map<uint32_t, CharSet> PerBlock;
+    for (const auto &[Guard, To] : Trans[Repr[B]]) {
+      auto [It, Inserted] = PerBlock.emplace(Block[To], Guard);
+      if (!Inserted)
+        It->second = It->second.unionWith(Guard);
+    }
+    for (auto &[SuccBlock, Guard] : PerBlock) {
+      // internBlock may grow Min.Trans; take the target first.
+      uint32_t To = internBlock(SuccBlock);
+      Min.Trans[From].push_back({Guard, To});
+    }
+  }
+  return Min;
+}
+
+Snfa Sdfa::toNfa() const {
+  Snfa A;
+  A.Trans = Trans;
+  A.Initial = {Initial};
+  A.Final = Final;
+  return A;
+}

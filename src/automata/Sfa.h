@@ -1,0 +1,91 @@
+//===- automata/Sfa.h - Classical symbolic NFA / DFA ------------------------===//
+///
+/// \file
+/// Classical symbolic finite automata (transitions carry CharSet guards)
+/// and the eager constructions on them: determinization by subset
+/// construction over local minterms, product, and complement. These are the
+/// substrate for the "existing solution #1" baseline the paper contrasts
+/// with (convert the regex to an automaton eagerly, then apply Boolean
+/// operations on automata) — the approach whose state-space blowup symbolic
+/// Boolean derivatives avoid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_AUTOMATA_SFA_H
+#define SBD_AUTOMATA_SFA_H
+
+#include "charset/CharSet.h"
+
+#include <optional>
+#include <vector>
+
+namespace sbd {
+
+/// A (nondeterministic) symbolic finite automaton without epsilon moves.
+struct Snfa {
+  /// Per-state outgoing transitions (guard, target).
+  std::vector<std::vector<std::pair<CharSet, uint32_t>>> Trans;
+  std::vector<uint32_t> Initial;
+  std::vector<bool> Final;
+
+  size_t numStates() const { return Trans.size(); }
+  size_t numTransitions() const;
+  bool accepts(const std::vector<uint32_t> &Word) const;
+  bool acceptsEmptyWord() const;
+  /// Shortest accepted word via BFS reachability; nullopt when empty.
+  std::optional<std::vector<uint32_t>> findWitness() const;
+
+  /// --- Constructions (all epsilon-free) ------------------------------------
+  static Snfa empty();
+  static Snfa epsilon();
+  static Snfa pred(const CharSet &Set);
+  static Snfa concat(const Snfa &A, const Snfa &B);
+  static Snfa star(const Snfa &A);
+  static Snfa alternate(const Snfa &A, const Snfa &B);
+  /// NFA product (intersection without determinization) — used by the
+  /// NFA-product ablation of the eager baseline.
+  static std::optional<Snfa> product(const Snfa &A, const Snfa &B,
+                                     size_t MaxStates);
+};
+
+/// A complete deterministic symbolic finite automaton: each state's guards
+/// partition the alphabet.
+struct Sdfa {
+  std::vector<std::vector<std::pair<CharSet, uint32_t>>> Trans;
+  uint32_t Initial = 0;
+  std::vector<bool> Final;
+
+  size_t numStates() const { return Trans.size(); }
+  bool accepts(const std::vector<uint32_t> &Word) const;
+
+  /// Subset construction over local minterms. Returns nullopt past
+  /// \p MaxStates (0 = unlimited).
+  static std::optional<Sdfa> determinize(const Snfa &A, size_t MaxStates);
+
+  /// Product construction restricted to reachable pairs; \p IsUnion picks
+  /// final-state disjunction vs conjunction.
+  static std::optional<Sdfa> product(const Sdfa &A, const Sdfa &B,
+                                     bool IsUnion, size_t MaxStates);
+
+  /// Complement = flip finals (automaton is complete by construction).
+  Sdfa complement() const;
+
+  /// Reachability-based emptiness; returns a witness when nonempty.
+  std::optional<std::vector<uint32_t>> findWitness() const;
+
+  /// View as an NFA (for further concat/star once Boolean ops introduced
+  /// determinism).
+  Snfa toNfa() const;
+
+  /// Moore-style minimization over symbolic guards: repeatedly refines the
+  /// final/non-final partition by per-block transition signatures until a
+  /// fixpoint; the result is the unique minimal complete DFA for the same
+  /// language. (The paper's intro notes eager pipelines can shrink their
+  /// blowup through minimization "but only after the fact" — this is that
+  /// operation, used by the EagerSolver's DeterminizeMinimize ablation.)
+  Sdfa minimize() const;
+};
+
+} // namespace sbd
+
+#endif // SBD_AUTOMATA_SFA_H

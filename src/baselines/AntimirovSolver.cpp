@@ -1,0 +1,239 @@
+//===- baselines/AntimirovSolver.cpp - Partial-derivative baseline ----------===//
+
+#include "baselines/AntimirovSolver.h"
+
+#include "support/Debug.h"
+#include "support/Stopwatch.h"
+
+#include <algorithm>
+
+#include <deque>
+#include <unordered_map>
+
+using namespace sbd;
+
+bool sbd::linearForm(RegexManager &M, Re R, std::vector<LinearArc> &Out) {
+  // Copy the node: recursive calls below may grow the arena.
+  RegexNode N = M.node(R);
+  switch (N.Kind) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+    return true;
+  case RegexKind::Pred:
+    Out.push_back({M.predSet(R), M.epsilon()});
+    return true;
+  case RegexKind::Concat: {
+    Re A = N.Kids[0], B = N.Kids[1];
+    std::vector<LinearArc> Left;
+    if (!linearForm(M, A, Left))
+      return false;
+    for (LinearArc &Arc : Left)
+      Out.push_back({std::move(Arc.Guard), M.concat(Arc.Target, B)});
+    if (M.nullable(A) && !linearForm(M, B, Out))
+      return false;
+    return true;
+  }
+  case RegexKind::Star: {
+    std::vector<LinearArc> Body;
+    if (!linearForm(M, N.Kids[0], Body))
+      return false;
+    for (LinearArc &Arc : Body)
+      Out.push_back({std::move(Arc.Guard), M.concat(Arc.Target, R)});
+    return true;
+  }
+  case RegexKind::Loop: {
+    Re BodyRe = N.Kids[0];
+    uint32_t Min = N.LoopMin == 0 ? 0 : N.LoopMin - 1;
+    uint32_t Max = N.LoopMax == LoopInf ? LoopInf : N.LoopMax - 1;
+    Re Rest = M.loop(BodyRe, Min, Max);
+    std::vector<LinearArc> Body;
+    if (!linearForm(M, BodyRe, Body))
+      return false;
+    for (LinearArc &Arc : Body)
+      Out.push_back({std::move(Arc.Guard), M.concat(Arc.Target, Rest)});
+    return true;
+  }
+  case RegexKind::Union: {
+    for (Re Kid : N.Kids)
+      if (!linearForm(M, Kid, Out))
+        return false;
+    return true;
+  }
+  case RegexKind::Inter: {
+    // Pairwise product of the children's linear forms ([17]).
+    std::vector<LinearArc> Acc;
+    bool First = true;
+    for (Re Kid : N.Kids) {
+      std::vector<LinearArc> KidArcs;
+      if (!linearForm(M, Kid, KidArcs))
+        return false;
+      if (First) {
+        Acc = std::move(KidArcs);
+        First = false;
+        continue;
+      }
+      std::vector<LinearArc> Next;
+      for (const LinearArc &A : Acc)
+        for (const LinearArc &B : KidArcs) {
+          CharSet G = A.Guard.intersectWith(B.Guard);
+          if (G.isEmpty())
+            continue;
+          Re Target = M.inter(A.Target, B.Target);
+          if (Target == M.empty())
+            continue;
+          Next.push_back({std::move(G), Target});
+        }
+      Acc = std::move(Next);
+    }
+    Out.insert(Out.end(), Acc.begin(), Acc.end());
+    return true;
+  }
+  case RegexKind::Compl:
+    return false; // not in the positive fragment
+  }
+  sbd_unreachable("covered switch");
+}
+
+std::optional<Snfa> sbd::buildPartialDerivativeNfa(RegexManager &M, Re R,
+                                                   size_t MaxStates) {
+  Snfa A;
+  std::unordered_map<uint32_t, uint32_t> Index; // Re.Id -> state
+  std::deque<Re> Work;
+  auto intern = [&](Re State) -> std::optional<uint32_t> {
+    auto It = Index.find(State.Id);
+    if (It != Index.end())
+      return It->second;
+    if (MaxStates && A.numStates() >= MaxStates)
+      return std::nullopt;
+    uint32_t Idx = static_cast<uint32_t>(A.numStates());
+    A.Trans.emplace_back();
+    A.Final.push_back(M.nullable(State));
+    Index.emplace(State.Id, Idx);
+    Work.push_back(State);
+    return Idx;
+  };
+  auto Init = intern(R);
+  if (!Init)
+    return std::nullopt;
+  A.Initial = {*Init};
+  while (!Work.empty()) {
+    Re Cur = Work.front();
+    Work.pop_front();
+    uint32_t From = Index.at(Cur.Id);
+    std::vector<LinearArc> Arcs;
+    if (!linearForm(M, Cur, Arcs))
+      return std::nullopt; // complement is outside the fragment
+    for (const LinearArc &Arc : Arcs) {
+      if (Arc.Target == M.empty())
+        continue;
+      auto To = intern(Arc.Target);
+      if (!To)
+        return std::nullopt;
+      A.Trans[From].push_back({Arc.Guard, *To});
+    }
+  }
+  return A;
+}
+
+/// Does R mention `~` anywhere? Solvers of this family reject such inputs
+/// up front (they are outside the supported language, as in the paper's
+/// evaluation setup).
+static bool containsComplement(const RegexManager &M, Re R) {
+  const RegexNode &N = M.node(R);
+  if (N.Kind == RegexKind::Compl)
+    return true;
+  for (Re Kid : N.Kids)
+    if (containsComplement(M, Kid))
+      return true;
+  return false;
+}
+
+SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
+  Stopwatch Timer;
+  SolveResult Result;
+
+  if (containsComplement(M, R)) {
+    Result.Status = SolveStatus::Unsupported;
+    Result.Note = "complement is outside the partial-derivative fragment";
+    return Result;
+  }
+
+  struct Reached {
+    Re Parent;
+    uint32_t Ch;
+    bool HasParent;
+  };
+  std::unordered_map<uint32_t, Reached> Visited;
+  std::deque<Re> Queue;
+
+  auto finishSat = [&](Re Final) {
+    std::vector<uint32_t> Word;
+    Re Cur = Final;
+    while (Visited.at(Cur.Id).HasParent) {
+      Word.push_back(Visited.at(Cur.Id).Ch);
+      Cur = Visited.at(Cur.Id).Parent;
+    }
+    std::reverse(Word.begin(), Word.end());
+    Result.Status = SolveStatus::Sat;
+    Result.Witness = std::move(Word);
+  };
+
+  Visited.emplace(R.Id, Reached{R, 0, false});
+  if (M.nullable(R)) {
+    finishSat(R);
+    Result.StatesExplored = 1;
+    Result.TimeUs = Timer.elapsedUs();
+    return Result;
+  }
+  Queue.push_back(R);
+
+  size_t Steps = 0;
+  while (!Queue.empty()) {
+    if (Opts.MaxStates && Visited.size() > Opts.MaxStates) {
+      Result.Status = SolveStatus::Unknown;
+      Result.Note = "state budget exhausted";
+      break;
+    }
+    if (Opts.TimeoutMs > 0 && (++Steps & 0x3F) == 0 &&
+        Timer.elapsedMs() > Opts.TimeoutMs) {
+      Result.Status = SolveStatus::Unknown;
+      Result.Note = "timeout";
+      break;
+    }
+    Re Cur = Queue.front();
+    Queue.pop_front();
+    std::vector<LinearArc> Arcs;
+    if (!linearForm(M, Cur, Arcs)) {
+      Result.Status = SolveStatus::Unsupported;
+      Result.Note = "complement is outside the partial-derivative fragment";
+      Result.StatesExplored = Visited.size();
+      Result.TimeUs = Timer.elapsedUs();
+      return Result;
+    }
+    for (const LinearArc &Arc : Arcs) {
+      Re Next = Arc.Target;
+      if (Next == M.empty() || Visited.count(Next.Id))
+        continue;
+      auto Ch = Arc.Guard.sample();
+      assert(Ch && "linear-form guards are satisfiable");
+      Visited.emplace(Next.Id, Reached{Cur, *Ch, true});
+      if (M.nullable(Next)) {
+        finishSat(Next);
+        Result.StatesExplored = Visited.size();
+        Result.TimeUs = Timer.elapsedUs();
+        return Result;
+      }
+      Queue.push_back(Next);
+    }
+  }
+
+  if (Result.Status == SolveStatus::Unknown && !Result.Note.empty()) {
+    Result.StatesExplored = Visited.size();
+    Result.TimeUs = Timer.elapsedUs();
+    return Result;
+  }
+  Result.Status = SolveStatus::Unsat;
+  Result.StatesExplored = Visited.size();
+  Result.TimeUs = Timer.elapsedUs();
+  return Result;
+}

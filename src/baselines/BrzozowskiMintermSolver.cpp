@@ -1,0 +1,99 @@
+//===- baselines/BrzozowskiMintermSolver.cpp - Global mintermization --------===//
+
+#include "baselines/BrzozowskiMintermSolver.h"
+
+#include "support/Stopwatch.h"
+
+#include <algorithm>
+
+#include <deque>
+#include <unordered_map>
+
+using namespace sbd;
+
+SolveResult BrzozowskiMintermSolver::solve(Re R, const SolveOptions &Opts) {
+  Stopwatch Timer;
+  RegexManager &M = Engine.regexManager();
+  SolveResult Result;
+
+  // Eager alphabet finitization: one representative per minterm of ΨR.
+  // D_a(R') = D_b(R') for â = b̂ whenever R' is a derivative of R, so the
+  // representatives cover all behaviours (Theorem 7.1's argument).
+  std::vector<CharSet> Preds = M.collectPredicates(R);
+  std::vector<CharSet> Minterms = computeMinterms(Preds);
+  std::vector<uint32_t> Letters;
+  Letters.reserve(Minterms.size());
+  for (const CharSet &Block : Minterms)
+    Letters.push_back(*Block.sample());
+
+  struct Reached {
+    Re Parent;
+    uint32_t Ch;
+    bool HasParent;
+  };
+  std::unordered_map<uint32_t, Reached> Visited;
+  std::deque<Re> Queue;
+
+  auto finishSat = [&](Re Final) {
+    std::vector<uint32_t> Word;
+    Re Cur = Final;
+    while (Visited.at(Cur.Id).HasParent) {
+      Word.push_back(Visited.at(Cur.Id).Ch);
+      Cur = Visited.at(Cur.Id).Parent;
+    }
+    std::reverse(Word.begin(), Word.end());
+    Result.Status = SolveStatus::Sat;
+    Result.Witness = std::move(Word);
+  };
+
+  Visited.emplace(R.Id, Reached{R, 0, false});
+  if (M.nullable(R)) {
+    finishSat(R);
+    Result.StatesExplored = 1;
+    Result.TimeUs = Timer.elapsedUs();
+    return Result;
+  }
+  Queue.push_back(R);
+
+  size_t Steps = 0;
+  while (!Queue.empty()) {
+    if (Opts.MaxStates && Visited.size() > Opts.MaxStates) {
+      Result.Status = SolveStatus::Unknown;
+      Result.Note = "state budget exhausted";
+      Result.StatesExplored = Visited.size();
+      Result.TimeUs = Timer.elapsedUs();
+      return Result;
+    }
+    if (Opts.TimeoutMs > 0 && (++Steps & 0x0F) == 0 &&
+        Timer.elapsedMs() > Opts.TimeoutMs) {
+      Result.Status = SolveStatus::Unknown;
+      Result.Note = "timeout";
+      Result.StatesExplored = Visited.size();
+      Result.TimeUs = Timer.elapsedUs();
+      return Result;
+    }
+    Re Cur = Queue.front();
+    Queue.pop_front();
+    // Branch over every letter of the finitized alphabet.
+    for (uint32_t Ch : Letters) {
+      Re Next = Engine.brzozowski(Cur, Ch);
+      if (Next == M.empty() || Visited.count(Next.Id))
+        continue;
+      Visited.emplace(Next.Id, Reached{Cur, Ch, true});
+      if (M.nullable(Next)) {
+        finishSat(Next);
+        Result.StatesExplored = Visited.size();
+        Result.TimeUs = Timer.elapsedUs();
+        return Result;
+      }
+      Queue.push_back(Next);
+    }
+  }
+
+  // Exhausted the (finite) derivative space without finding a nullable
+  // regex: the language is empty.
+  Result.Status = SolveStatus::Unsat;
+  Result.StatesExplored = Visited.size();
+  Result.TimeUs = Timer.elapsedUs();
+  return Result;
+}

@@ -1,0 +1,42 @@
+//===- baselines/BrzozowskiMintermSolver.h - Global mintermization ----------===//
+///
+/// \file
+/// Classical Brzozowski-derivative solver over an eagerly finitized
+/// alphabet (Section 8.3's "mintermization" approach): compute the minterms
+/// of *all* predicates ΨR of the input up front, treat each minterm as one
+/// letter of a finite alphabet, and explore classical derivatives
+/// per-letter. Handles all of ERE (Brzozowski derivatives extend to `&`/`~`
+/// over a finite alphabet), but pays:
+///
+///  - up-front global mintermization (worst case 2^|ΨR| blocks), and
+///  - branching factor |Minterms(ΨR)| at *every* state, even where only one
+///    predicate is locally relevant — the cost transition regexes avoid by
+///    keeping conditionals local and lazy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_BASELINES_BRZOZOWSKIMINTERMSOLVER_H
+#define SBD_BASELINES_BRZOZOWSKIMINTERMSOLVER_H
+
+#include "core/Derivatives.h"
+#include "solver/SolverResult.h"
+
+namespace sbd {
+
+/// Brzozowski + global minterms baseline.
+class BrzozowskiMintermSolver {
+public:
+  explicit BrzozowskiMintermSolver(DerivativeEngine &Engine)
+      : Engine(Engine) {}
+
+  /// Decides nonemptiness of L(R) by exhaustive derivative exploration over
+  /// the mintermized alphabet.
+  SolveResult solve(Re R, const SolveOptions &Opts = {});
+
+private:
+  DerivativeEngine &Engine;
+};
+
+} // namespace sbd
+
+#endif // SBD_BASELINES_BRZOZOWSKIMINTERMSOLVER_H

@@ -1,0 +1,204 @@
+//===- charset/Bdd.cpp - BDD character predicates ------------------------------===//
+
+#include "charset/Bdd.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace sbd;
+
+BddManager::BddManager() {
+  // Terminal nodes: false (id 0) and true (id 1); Var = NumBits marks a
+  // terminal and keeps variable comparisons simple.
+  Nodes.push_back({NumBits, BddRef{0}, BddRef{0}});
+  Nodes.push_back({NumBits, BddRef{1}, BddRef{1}});
+  Domain = rangeBdd(0, MaxCodePoint, 0);
+}
+
+BddRef BddManager::mk(uint32_t Var, BddRef Lo, BddRef Hi) {
+  if (Lo == Hi)
+    return Lo; // reduction
+  uint64_t H = hashMix(Var);
+  H = hashCombine(H, Lo.Id);
+  H = hashCombine(H, Hi.Id);
+  auto &Bucket = ConsTable[H];
+  for (uint32_t Id : Bucket) {
+    const Node &N = Nodes[Id];
+    if (N.Var == Var && N.Lo == Lo && N.Hi == Hi)
+      return BddRef{Id};
+  }
+  uint32_t Id = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back({Var, Lo, Hi});
+  Bucket.push_back(Id);
+  return BddRef{Id};
+}
+
+BddRef BddManager::applyOp(bool IsAnd, BddRef A, BddRef B) {
+  // Terminal cases.
+  if (A == B)
+    return A;
+  if (IsAnd) {
+    if (A == falseBdd() || B == falseBdd())
+      return falseBdd();
+    if (A == trueBdd())
+      return B;
+    if (B == trueBdd())
+      return A;
+  } else {
+    if (A == trueBdd() || B == trueBdd())
+      return trueBdd();
+    if (A == falseBdd())
+      return B;
+    if (B == falseBdd())
+      return A;
+  }
+  // Normalize operand order (both ops are commutative) for the cache.
+  if (B.Id < A.Id)
+    std::swap(A, B);
+  uint64_t Key = (static_cast<uint64_t>(A.Id) << 33) |
+                 (static_cast<uint64_t>(B.Id) << 1) | (IsAnd ? 1 : 0);
+  auto It = OpCache.find(Key);
+  if (It != OpCache.end())
+    return It->second;
+
+  const Node &NA = node(A);
+  const Node &NB = node(B);
+  uint32_t Var = std::min(NA.Var, NB.Var);
+  BddRef ALo = NA.Var == Var ? NA.Lo : A;
+  BddRef AHi = NA.Var == Var ? NA.Hi : A;
+  BddRef BLo = NB.Var == Var ? NB.Lo : B;
+  BddRef BHi = NB.Var == Var ? NB.Hi : B;
+  BddRef Lo = applyOp(IsAnd, ALo, BLo);
+  BddRef Hi = applyOp(IsAnd, AHi, BHi);
+  BddRef R = mk(Var, Lo, Hi);
+  OpCache.emplace(Key, R);
+  return R;
+}
+
+BddRef BddManager::bddAnd(BddRef A, BddRef B) { return applyOp(true, A, B); }
+
+BddRef BddManager::bddOr(BddRef A, BddRef B) { return applyOp(false, A, B); }
+
+BddRef BddManager::bddNot(BddRef A) {
+  // ¬A within 2^21 vectors, then clamp to the domain. Negation is computed
+  // structurally (swap reachability to terminals) via De Morgan through the
+  // apply cache: ¬A = (true ⊕ A) — implemented as a dedicated recursion.
+  struct Negate {
+    BddManager &Mgr;
+    std::unordered_map<uint32_t, BddRef> Memo;
+    BddRef run(BddRef X) {
+      if (X == Mgr.falseBdd())
+        return Mgr.trueBdd();
+      if (X == Mgr.trueBdd())
+        return Mgr.falseBdd();
+      auto It = Memo.find(X.Id);
+      if (It != Memo.end())
+        return It->second;
+      // Copy: mk() may grow the arena.
+      Node N = Mgr.node(X);
+      BddRef Lo = run(N.Lo);
+      BddRef Hi = run(N.Hi);
+      BddRef R = Mgr.mk(N.Var, Lo, Hi);
+      Memo.emplace(X.Id, R);
+      return R;
+    }
+  };
+  Negate Neg{*this, {}};
+  return bddAnd(Domain, Neg.run(A));
+}
+
+BddRef BddManager::rangeBdd(uint32_t Lo, uint32_t Hi, uint32_t Bit) {
+  assert(Lo <= Hi && "inverted range");
+  if (Bit == NumBits)
+    return trueBdd();
+  uint32_t Width = NumBits - Bit;           // bits remaining
+  uint32_t Mask = (1u << (Width - 1));      // current bit within the suffix
+  uint32_t Rest = Mask - 1;                 // suffix below the current bit
+  bool LoBit = (Lo & Mask) != 0;
+  bool HiBit = (Hi & Mask) != 0;
+  uint32_t LoTail = Lo & Rest, HiTail = Hi & Rest;
+  if (!LoBit && !HiBit)
+    return mk(Bit, rangeBdd(LoTail, HiTail, Bit + 1), falseBdd());
+  if (LoBit && HiBit)
+    return mk(Bit, falseBdd(), rangeBdd(LoTail, HiTail, Bit + 1));
+  // Lo has bit 0, Hi has bit 1: the range spans the split point.
+  BddRef LoBranch = rangeBdd(LoTail, Rest, Bit + 1);   // [LoTail, 111…1]
+  BddRef HiBranch = rangeBdd(0, HiTail, Bit + 1);      // [000…0, HiTail]
+  return mk(Bit, LoBranch, HiBranch);
+}
+
+BddRef BddManager::fromCharSet(const CharSet &Set) {
+  BddRef Acc = falseBdd();
+  for (const CharRange &R : Set.ranges())
+    Acc = bddOr(Acc, rangeBdd(R.Lo, R.Hi, 0));
+  return Acc;
+}
+
+void BddManager::collectIntervals(BddRef A, uint32_t Bit, uint32_t Prefix,
+                                  std::vector<CharRange> &Out) const {
+  if (A == falseBdd())
+    return;
+  uint32_t Width = NumBits - Bit;
+  if (A == trueBdd()) {
+    // All remaining bits free: one contiguous interval.
+    uint32_t Lo = Prefix << Width;
+    uint32_t Hi = Lo | ((Width == 0 ? 0 : ((1u << Width) - 1)));
+    if (Lo > MaxCodePoint)
+      return;
+    Out.push_back({Lo, std::min(Hi, MaxCodePoint)});
+    return;
+  }
+  const Node &N = node(A);
+  if (N.Var == Bit) {
+    collectIntervals(N.Lo, Bit + 1, Prefix << 1, Out);
+    collectIntervals(N.Hi, Bit + 1, (Prefix << 1) | 1, Out);
+  } else {
+    // Skipped variable: both values possible.
+    collectIntervals(A, Bit + 1, Prefix << 1, Out);
+    collectIntervals(A, Bit + 1, (Prefix << 1) | 1, Out);
+  }
+}
+
+CharSet BddManager::toCharSet(BddRef A) const {
+  std::vector<CharRange> Ranges;
+  collectIntervals(A, 0, 0, Ranges);
+  return CharSet::fromRanges(std::move(Ranges));
+}
+
+bool BddManager::contains(BddRef A, uint32_t Cp) const {
+  BddRef Cur = A;
+  while (Cur != falseBdd() && Cur != trueBdd()) {
+    const Node &N = node(Cur);
+    bool BitSet = (Cp >> (NumBits - 1 - N.Var)) & 1;
+    Cur = BitSet ? N.Hi : N.Lo;
+  }
+  return Cur == trueBdd();
+}
+
+uint64_t BddManager::satCount(BddRef A) {
+  // Count assignments over all NumBits variables, scaled per level skip;
+  // clamp to the domain by intersecting first.
+  struct Counter {
+    BddManager &Mgr;
+    uint64_t run(BddRef X, uint32_t FromVar) {
+      if (X == Mgr.falseBdd())
+        return 0;
+      uint32_t Var = X == Mgr.trueBdd() ? NumBits : Mgr.node(X).Var;
+      uint64_t Skipped = 1ULL << (Var - FromVar);
+      if (X == Mgr.trueBdd())
+        return Skipped;
+      uint64_t Key = (static_cast<uint64_t>(X.Id) << 8) | FromVar;
+      auto It = Mgr.CountCache.find(Key);
+      if (It != Mgr.CountCache.end())
+        return It->second;
+      const Node &N = Mgr.node(X);
+      uint64_t Below = run(N.Lo, Var + 1) + run(N.Hi, Var + 1);
+      uint64_t Result = Skipped * Below;
+      Mgr.CountCache.emplace(Key, Result);
+      return Result;
+    }
+  };
+  Counter C{*this};
+  return C.run(bddAnd(A, Domain), 0);
+}

@@ -1,0 +1,102 @@
+//===- charset/Bdd.h - BDD character predicates -------------------------------===//
+///
+/// \file
+/// A second realization of the effective Boolean algebra of character
+/// predicates: reduced ordered binary decision diagrams over the 21 bits of
+/// a Unicode code point (most-significant bit first). The paper's related
+/// work discusses predicates "represented succinctly by tests, e.g., by
+/// encoding predicates as BDDs" (the KAT line of work) and Z3's own
+/// character theory is BDD-based; this module shows the library's algebra
+/// interface is genuinely theory-agnostic by providing lossless conversions
+/// CharSet ⇄ BDD and the same Boolean operations with the same
+/// extensionality property (ROBDD canonicity: equivalent predicates are
+/// pointer-equal).
+///
+/// All operations are relative to the valid-code-point domain
+/// [0, 0x10FFFF]; complement never produces assignments above the domain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_CHARSET_BDD_H
+#define SBD_CHARSET_BDD_H
+
+#include "charset/CharSet.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sbd {
+
+/// Handle to an interned BDD node (0 = false terminal, 1 = true terminal).
+struct BddRef {
+  uint32_t Id = 0;
+
+  friend bool operator==(BddRef A, BddRef B) { return A.Id == B.Id; }
+  friend bool operator!=(BddRef A, BddRef B) { return A.Id != B.Id; }
+};
+
+/// Arena + operations for character-predicate BDDs.
+class BddManager {
+public:
+  /// Number of decision variables (bits of a code point, MSB first).
+  static constexpr uint32_t NumBits = 21;
+
+  BddManager();
+
+  BddRef falseBdd() const { return BddRef{0}; }
+  BddRef trueBdd() const { return BddRef{1}; } // true over all 2^21 vectors
+  /// The predicate denoting exactly the valid code points [0, MaxCodePoint].
+  BddRef domain() const { return Domain; }
+
+  /// --- Boolean algebra (relative to the code-point domain) ----------------
+
+  BddRef bddAnd(BddRef A, BddRef B);
+  BddRef bddOr(BddRef A, BddRef B);
+  /// Domain-relative complement: domain ∧ ¬A.
+  BddRef bddNot(BddRef A);
+
+  bool isEmpty(BddRef A) const { return A == falseBdd(); }
+  /// Extensional equality: canonical ROBDDs make this pointer equality.
+  bool equal(BddRef A, BddRef B) const { return A == B; }
+
+  /// --- Conversions and queries ---------------------------------------------
+
+  /// Encodes an interval set as a BDD (exact).
+  BddRef fromCharSet(const CharSet &Set);
+  /// Decodes a BDD back into a canonical interval set (exact inverse).
+  CharSet toCharSet(BddRef A) const;
+  /// a ∈ [[A]]?
+  bool contains(BddRef A, uint32_t Cp) const;
+  /// Number of code points denoted (within the domain).
+  uint64_t satCount(BddRef A);
+
+  /// Interned node count (diagnostics; measures sharing).
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  struct Node {
+    uint32_t Var; ///< decision bit, 0 = MSB; terminals use NumBits
+    BddRef Lo;    ///< branch for bit = 0
+    BddRef Hi;    ///< branch for bit = 1
+  };
+
+  BddRef mk(uint32_t Var, BddRef Lo, BddRef Hi);
+  BddRef applyOp(bool IsAnd, BddRef A, BddRef B);
+  /// BDD for { x : Lo <= x <= Hi } (bit-comparator construction).
+  BddRef rangeBdd(uint32_t Lo, uint32_t Hi, uint32_t Bit);
+  void collectIntervals(BddRef A, uint32_t Bit, uint32_t Prefix,
+                        std::vector<CharRange> &Out) const;
+
+  const Node &node(BddRef R) const { return Nodes[R.Id]; }
+
+  std::vector<Node> Nodes;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> ConsTable;
+  std::unordered_map<uint64_t, BddRef> OpCache; // (op,a,b) -> result
+  std::unordered_map<uint64_t, uint64_t> CountCache;
+  BddRef Domain;
+};
+
+} // namespace sbd
+
+#endif // SBD_CHARSET_BDD_H

@@ -1,0 +1,258 @@
+//===- charset/CharSet.cpp - Canonical interval sets ------------------------===//
+
+#include "charset/CharSet.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace sbd;
+
+CharSet CharSet::full() { return range(0, MaxCodePoint); }
+
+CharSet CharSet::singleton(uint32_t Cp) { return range(Cp, Cp); }
+
+CharSet CharSet::range(uint32_t Lo, uint32_t Hi) {
+  assert(Lo <= Hi && Hi <= MaxCodePoint && "malformed range");
+  return CharSet(std::vector<CharRange>{{Lo, Hi}});
+}
+
+CharSet CharSet::fromRanges(std::vector<CharRange> Rs) {
+  if (Rs.empty())
+    return CharSet();
+  std::sort(Rs.begin(), Rs.end(), [](const CharRange &A, const CharRange &B) {
+    return A.Lo < B.Lo || (A.Lo == B.Lo && A.Hi < B.Hi);
+  });
+  std::vector<CharRange> Out;
+  for (const CharRange &R : Rs) {
+    assert(R.Lo <= R.Hi && R.Hi <= MaxCodePoint && "malformed range");
+    // Coalesce with the previous interval when overlapping or adjacent.
+    if (!Out.empty() && R.Lo <= Out.back().Hi + 1 && Out.back().Hi + 1 != 0) {
+      Out.back().Hi = std::max(Out.back().Hi, R.Hi);
+      continue;
+    }
+    Out.push_back(R);
+  }
+  return CharSet(std::move(Out));
+}
+
+CharSet CharSet::digit() { return range('0', '9'); }
+
+CharSet CharSet::word() {
+  return fromRanges({{'0', '9'}, {'A', 'Z'}, {'_', '_'}, {'a', 'z'}});
+}
+
+CharSet CharSet::space() {
+  return fromRanges({{'\t', '\r'}, {' ', ' '}});
+}
+
+CharSet CharSet::asciiLetter() {
+  return fromRanges({{'A', 'Z'}, {'a', 'z'}});
+}
+
+CharSet CharSet::unionWith(const CharSet &Other) const {
+  std::vector<CharRange> All = Ranges;
+  All.insert(All.end(), Other.Ranges.begin(), Other.Ranges.end());
+  return fromRanges(std::move(All));
+}
+
+CharSet CharSet::intersectWith(const CharSet &Other) const {
+  std::vector<CharRange> Out;
+  size_t I = 0, J = 0;
+  while (I < Ranges.size() && J < Other.Ranges.size()) {
+    const CharRange &A = Ranges[I];
+    const CharRange &B = Other.Ranges[J];
+    uint32_t Lo = std::max(A.Lo, B.Lo);
+    uint32_t Hi = std::min(A.Hi, B.Hi);
+    if (Lo <= Hi)
+      Out.push_back({Lo, Hi});
+    // Advance whichever interval ends first.
+    if (A.Hi < B.Hi)
+      ++I;
+    else
+      ++J;
+  }
+  // The sweep already yields canonical output (sorted, disjoint,
+  // non-adjacent since the inputs were non-adjacent).
+  return CharSet(std::move(Out));
+}
+
+CharSet CharSet::complement() const {
+  // Gaps between consecutive intervals become the complement's intervals.
+  std::vector<CharRange> Out;
+  uint32_t Next = 0; // first code point not yet covered by the complement
+  for (const CharRange &R : Ranges) {
+    if (R.Lo > Next)
+      Out.push_back({Next, R.Lo - 1});
+    Next = R.Hi + 1; // never wraps: Hi <= MaxCodePoint < UINT32_MAX
+  }
+  if (Next <= MaxCodePoint)
+    Out.push_back({Next, MaxCodePoint});
+  return CharSet(std::move(Out));
+}
+
+CharSet CharSet::minus(const CharSet &Other) const {
+  return intersectWith(Other.complement());
+}
+
+bool CharSet::contains(uint32_t Cp) const {
+  // Binary search on interval starts.
+  auto It = std::upper_bound(
+      Ranges.begin(), Ranges.end(), Cp,
+      [](uint32_t V, const CharRange &R) { return V < R.Lo; });
+  if (It == Ranges.begin())
+    return false;
+  --It;
+  return Cp <= It->Hi;
+}
+
+bool CharSet::isSubsetOf(const CharSet &Other) const {
+  return intersectWith(Other) == *this;
+}
+
+bool CharSet::isDisjointFrom(const CharSet &Other) const {
+  size_t I = 0, J = 0;
+  while (I < Ranges.size() && J < Other.Ranges.size()) {
+    const CharRange &A = Ranges[I];
+    const CharRange &B = Other.Ranges[J];
+    if (std::max(A.Lo, B.Lo) <= std::min(A.Hi, B.Hi))
+      return false;
+    if (A.Hi < B.Hi)
+      ++I;
+    else
+      ++J;
+  }
+  return true;
+}
+
+uint64_t CharSet::count() const {
+  uint64_t N = 0;
+  for (const CharRange &R : Ranges)
+    N += static_cast<uint64_t>(R.Hi) - R.Lo + 1;
+  return N;
+}
+
+std::optional<uint32_t> CharSet::minElement() const {
+  if (Ranges.empty())
+    return std::nullopt;
+  return Ranges.front().Lo;
+}
+
+std::optional<uint32_t> CharSet::sample() const {
+  if (Ranges.empty())
+    return std::nullopt;
+  // Prefer a printable ASCII representative so witness strings read well.
+  static const CharSet Printable = CharSet::range(0x21, 0x7E);
+  CharSet Nice = intersectWith(Printable);
+  if (!Nice.isEmpty())
+    return Nice.minElement();
+  return minElement();
+}
+
+bool sbd::operator<(const CharSet &A, const CharSet &B) {
+  return std::lexicographical_compare(
+      A.Ranges.begin(), A.Ranges.end(), B.Ranges.begin(), B.Ranges.end(),
+      [](const CharRange &X, const CharRange &Y) {
+        return X.Lo < Y.Lo || (X.Lo == Y.Lo && X.Hi < Y.Hi);
+      });
+}
+
+uint64_t CharSet::hash() const {
+  uint64_t H = 0x5eed5eed5eed5eedULL;
+  for (const CharRange &R : Ranges) {
+    H = hashCombine(H, R.Lo);
+    H = hashCombine(H, R.Hi);
+  }
+  return H;
+}
+
+/// Renders one code point inside a character class.
+static std::string classChar(uint32_t Cp) {
+  switch (Cp) {
+  case '-':
+    return "\\-";
+  case ']':
+    return "\\]";
+  case '[':
+    return "\\[";
+  case '\\':
+    return "\\\\";
+  case '^':
+    return "\\^";
+  default:
+    return escapeCodePoint(Cp);
+  }
+}
+
+std::string CharSet::str() const {
+  if (isEmpty())
+    return "[]";
+  if (isFull())
+    return ".";
+  if (*this == digit())
+    return "\\d";
+  if (*this == word())
+    return "\\w";
+  if (*this == space())
+    return "\\s";
+  if (Ranges.size() == 1 && Ranges[0].Lo == Ranges[0].Hi) {
+    // A singleton prints as the bare (escaped) character.
+    uint32_t Cp = Ranges[0].Lo;
+    // Characters that are regex metacharacters need escaping at top level.
+    static const std::string Meta = "()[]{}|&~*+?.\\-^$";
+    if (Cp < 0x80 && Meta.find(static_cast<char>(Cp)) != std::string::npos)
+      return std::string("\\") + static_cast<char>(Cp);
+    return escapeCodePoint(Cp);
+  }
+  // If the complement is smaller, print a negated class.
+  CharSet Comp = complement();
+  bool Negate = Comp.Ranges.size() < Ranges.size();
+  const std::vector<CharRange> &Rs = Negate ? Comp.Ranges : Ranges;
+  std::string Out = Negate ? "[^" : "[";
+  for (const CharRange &R : Rs) {
+    if (R.Lo == R.Hi) {
+      Out += classChar(R.Lo);
+    } else {
+      Out += classChar(R.Lo);
+      Out += '-';
+      Out += classChar(R.Hi);
+    }
+  }
+  Out += ']';
+  return Out;
+}
+
+std::vector<CharSet> sbd::computeMinterms(const std::vector<CharSet> &Sets) {
+  // Boundary sweep: split the domain at every interval start and one-past-end
+  // point, then group elementary segments by their membership signature.
+  std::vector<uint32_t> Bounds;
+  Bounds.push_back(0);
+  for (const CharSet &S : Sets) {
+    for (const CharRange &R : S.ranges()) {
+      Bounds.push_back(R.Lo);
+      if (R.Hi < MaxCodePoint)
+        Bounds.push_back(R.Hi + 1);
+    }
+  }
+  std::sort(Bounds.begin(), Bounds.end());
+  Bounds.erase(std::unique(Bounds.begin(), Bounds.end()), Bounds.end());
+
+  size_t NumWords = (Sets.size() + 63) / 64;
+  // Signature -> accumulated ranges for that minterm.
+  std::map<std::vector<uint64_t>, std::vector<CharRange>> Groups;
+  for (size_t I = 0; I != Bounds.size(); ++I) {
+    uint32_t Lo = Bounds[I];
+    uint32_t Hi = (I + 1 < Bounds.size()) ? Bounds[I + 1] - 1 : MaxCodePoint;
+    std::vector<uint64_t> Sig(NumWords, 0);
+    for (size_t S = 0; S != Sets.size(); ++S)
+      if (Sets[S].contains(Lo))
+        Sig[S / 64] |= (1ULL << (S % 64));
+    Groups[Sig].push_back({Lo, Hi});
+  }
+  std::vector<CharSet> Out;
+  Out.reserve(Groups.size());
+  for (auto &[Sig, Rs] : Groups)
+    Out.push_back(CharSet::fromRanges(std::move(Rs)));
+  return Out;
+}

@@ -1,0 +1,104 @@
+//===- core/CachedMatcher.cpp - SRM-style derivative matcher -----------------===//
+
+#include "core/CachedMatcher.h"
+
+#include "support/Unicode.h"
+
+#include <algorithm>
+
+using namespace sbd;
+
+CachedMatcher::CachedMatcher(DerivativeEngine &Engine, Re Pattern)
+    : Engine(Engine), M(Engine.regexManager()), T(Engine.trManager()) {
+  InitialState = internState(Pattern);
+}
+
+uint32_t CachedMatcher::internState(Re R) {
+  auto It = StateIndex.find(R.Id);
+  if (It != StateIndex.end())
+    return It->second;
+  uint32_t Idx = static_cast<uint32_t>(States.size());
+  State S;
+  S.Regex = R;
+  S.Accepting = M.nullable(R);
+  States.push_back(std::move(S));
+  StateIndex.emplace(R.Id, Idx);
+  return Idx;
+}
+
+void CachedMatcher::expand(uint32_t StateIdx) {
+  // The transition structure of a state is the arc partition of its
+  // δdnf — computed once; overlapping union-branch guards are resolved by
+  // taking the regex union of all matching targets per elementary range.
+  Re R = States[StateIdx].Regex;
+  std::vector<TrArc> Arcs = T.arcs(Engine.derivativeDnf(R));
+
+  // Build elementary boundaries over all guards, then one target per
+  // block (arcs can overlap across union branches).
+  std::vector<uint32_t> Bounds;
+  for (const TrArc &A : Arcs)
+    for (const CharRange &Rg : A.Guard.ranges()) {
+      Bounds.push_back(Rg.Lo);
+      if (Rg.Hi < MaxCodePoint)
+        Bounds.push_back(Rg.Hi + 1);
+    }
+  std::sort(Bounds.begin(), Bounds.end());
+  Bounds.erase(std::unique(Bounds.begin(), Bounds.end()), Bounds.end());
+
+  std::vector<State::Range> Ranges;
+  for (size_t I = 0; I != Bounds.size(); ++I) {
+    uint32_t Lo = Bounds[I];
+    uint32_t Hi = (I + 1 < Bounds.size()) ? Bounds[I + 1] - 1 : MaxCodePoint;
+    std::vector<Re> Targets;
+    for (const TrArc &A : Arcs)
+      if (A.Guard.contains(Lo))
+        Targets.push_back(A.Target);
+    if (Targets.empty())
+      continue; // dead sink, left implicit
+    Re Next = M.unionList(std::move(Targets));
+    if (Next == M.empty())
+      continue;
+    uint32_t Target = internState(Next);
+    // Coalesce with the previous range when adjacent and same target.
+    if (!Ranges.empty() && Ranges.back().Target == Target &&
+        Ranges.back().Hi + 1 == Lo)
+      Ranges.back().Hi = Hi;
+    else
+      Ranges.push_back({Lo, Hi, Target});
+  }
+  CachedArcCount += Ranges.size();
+  States[StateIdx].Ranges = std::move(Ranges);
+  States[StateIdx].Expanded = true;
+}
+
+uint32_t CachedMatcher::step(uint32_t StateIdx, uint32_t Ch) {
+  if (!States[StateIdx].Expanded)
+    expand(StateIdx);
+  const auto &Ranges = States[StateIdx].Ranges;
+  // Binary search the sorted disjoint ranges.
+  size_t Lo = 0, Hi = Ranges.size();
+  while (Lo < Hi) {
+    size_t Mid = (Lo + Hi) / 2;
+    if (Ch < Ranges[Mid].Lo)
+      Hi = Mid;
+    else if (Ch > Ranges[Mid].Hi)
+      Lo = Mid + 1;
+    else
+      return Ranges[Mid].Target;
+  }
+  return UINT32_MAX; // dead sink
+}
+
+bool CachedMatcher::matches(const std::vector<uint32_t> &Word) {
+  uint32_t Cur = InitialState;
+  for (uint32_t Ch : Word) {
+    Cur = step(Cur, Ch);
+    if (Cur == UINT32_MAX)
+      return false;
+  }
+  return States[Cur].Accepting;
+}
+
+bool CachedMatcher::matches(const std::string &Utf8) {
+  return matches(fromUtf8(Utf8));
+}

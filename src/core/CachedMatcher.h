@@ -1,0 +1,78 @@
+//===- core/CachedMatcher.h - SRM-style derivative matcher (§8.5) -----------===//
+///
+/// \file
+/// A compiled matcher in the spirit of the Symbolic Regex Matcher (SRM,
+/// Veanes et al., TACAS'19) the paper discusses in Section 8.5: matching
+/// repeatedly against one regex by walking derivative states with cached
+/// transitions. Where SRM mintermizes the regex's predicates up front, this
+/// matcher reuses the *lazy* transition regexes: each state materializes its
+/// δdnf arcs once, on first visit, and per-character lookups binary-search
+/// the state's guard partition — no global minterm computation ever happens,
+/// matching the paper's argument for conditionals.
+///
+/// States are discovered on demand, so matching short inputs against a huge
+/// regex never builds the full state space (the same laziness the solver
+/// relies on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_CORE_CACHEDMATCHER_H
+#define SBD_CORE_CACHEDMATCHER_H
+
+#include "core/Derivatives.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sbd {
+
+/// Repeated-use matcher for one extended regex.
+class CachedMatcher {
+public:
+  CachedMatcher(DerivativeEngine &Engine, Re Pattern);
+
+  /// Does the pattern accept the code-point word?
+  bool matches(const std::vector<uint32_t> &Word);
+  /// Does the pattern accept the UTF-8 string?
+  bool matches(const std::string &Utf8);
+
+  /// Number of derivative states materialized so far.
+  size_t statesMaterialized() const { return States.size(); }
+  /// Total cached transition-table entries.
+  size_t cachedArcs() const { return CachedArcCount; }
+
+private:
+  /// A materialized state: the regex, whether it accepts ε, and its
+  /// outgoing partition as parallel arrays sorted by guard for lookup.
+  struct State {
+    Re Regex;
+    bool Accepting;
+    bool Expanded = false;
+    /// Sorted flattened guard ranges: (Lo, Hi, TargetState). Characters
+    /// not covered by any range go to the dead sink.
+    struct Range {
+      uint32_t Lo;
+      uint32_t Hi;
+      uint32_t Target;
+    };
+    std::vector<Range> Ranges;
+  };
+
+  uint32_t internState(Re R);
+  void expand(uint32_t State);
+  /// Next state on Ch; UINT32_MAX encodes the dead sink.
+  uint32_t step(uint32_t State, uint32_t Ch);
+
+  DerivativeEngine &Engine;
+  RegexManager &M;
+  TrManager &T;
+  std::vector<State> States;
+  std::unordered_map<uint32_t, uint32_t> StateIndex; // Re.Id -> state
+  uint32_t InitialState;
+  size_t CachedArcCount = 0;
+};
+
+} // namespace sbd
+
+#endif // SBD_CORE_CACHEDMATCHER_H

@@ -1,0 +1,65 @@
+//===- core/Derivatives.h - Symbolic and classical derivatives -------------===//
+///
+/// \file
+/// The symbolic derivative δ : ERE → TR of Section 4, its solver normal form
+/// δdnf (Section 5), and — independently implemented for cross-validation —
+/// the classical Brzozowski derivative D_a : ERE → ERE for a concrete
+/// character (Section 8.1), plus the derivative-based matcher used as ground
+/// truth throughout the test suite.
+///
+/// Theorem 4.3 (correctness) states L(δ(R)(a)) = L(D_a(R)). Note this is
+/// *language* equality: `apply(δ(R), a)` and `brzozowski(R, a)` need not be
+/// the same interned node, because distributivity of `·`/`&` over `|` is not
+/// one of the similarity laws the arena normalizes by. The property tests
+/// check the equality by membership sampling and by solver-based language
+/// equivalence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_CORE_DERIVATIVES_H
+#define SBD_CORE_DERIVATIVES_H
+
+#include "core/TransitionRegex.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sbd {
+
+/// Computes and memoizes derivatives over one regex/transition-regex arena
+/// pair.
+class DerivativeEngine {
+public:
+  DerivativeEngine(RegexManager &M, TrManager &T) : M(M), T(T) {}
+
+  RegexManager &regexManager() { return M; }
+  TrManager &trManager() { return T; }
+
+  /// δ(R): the symbolic derivative as a transition regex (Section 4).
+  Tr derivative(Re R);
+
+  /// δdnf(R): the derivative in the solver's normal form — conditionals and
+  /// unions outermost, `&`/`~` pushed into ERE leaves, dead branches pruned.
+  Tr derivativeDnf(Re R);
+
+  /// D_Ch(R): classical Brzozowski derivative with respect to a concrete
+  /// character. Implemented directly from the classical rules (not via δ)
+  /// so that the two agree only if both are correct.
+  Re brzozowski(Re R, uint32_t Ch);
+
+  /// ϵ-membership after consuming \p Word: the classical derivative matcher.
+  bool matches(Re R, const std::vector<uint32_t> &Word);
+
+  /// Convenience: match an ASCII/UTF-8 string.
+  bool matches(Re R, const std::string &Utf8);
+
+private:
+  RegexManager &M;
+  TrManager &T;
+  std::unordered_map<uint32_t, Tr> DerivCache;
+  std::unordered_map<uint32_t, Tr> DnfCache;
+};
+
+} // namespace sbd
+
+#endif // SBD_CORE_DERIVATIVES_H

@@ -1,0 +1,59 @@
+//===- core/LanguageOps.h - Language-level operations ------------------------===//
+///
+/// \file
+/// Derived language operations on extended regexes:
+///
+///  - `reverseRegex`: the structural reversal, L(rev(R)) = { reverse(w) :
+///    w ∈ L(R) }. Reversal commutes with all Boolean operations (it is a
+///    bijection on Σ*), flips concatenations, and fixes predicates —
+///    useful for turning suffix constraints into prefix constraints.
+///  - `enumerateLanguage`: the first N words of L(R) in shortlex-ish order
+///    (by length, then by discovery order of the derivative arcs), computed
+///    by lazy breadth-first unfolding of δdnf. Handy for debugging,
+///    examples, and as a test oracle for finite languages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_CORE_LANGUAGEOPS_H
+#define SBD_CORE_LANGUAGEOPS_H
+
+#include "core/Derivatives.h"
+
+#include <optional>
+#include <vector>
+
+namespace sbd {
+
+/// Structural reversal of R; linear in the size of R.
+Re reverseRegex(RegexManager &M, Re R);
+
+/// Enumerates up to \p MaxWords distinct words of L(R), ordered by length.
+/// Guards of at most 4 code points are enumerated exhaustively; larger
+/// classes contribute one readable representative. The enumeration explores
+/// at most \p MaxStates derivative configurations (0 = 10 * MaxWords + 100).
+std::vector<std::vector<uint32_t>> enumerateLanguage(DerivativeEngine &Engine,
+                                                     Re R, size_t MaxWords,
+                                                     size_t MaxStates = 0);
+
+/// Finds the first match of R *inside* \p Word (substring semantics, like
+/// the Symbolic Regex Matcher of Section 8.5): among all spans
+/// [Start, End) with Word[Start..End) ∈ L(R), returns the one with the
+/// smallest End, and among those the smallest Start. Implemented with two
+/// derivative scans: a forward run of `.*R` locates the earliest match end,
+/// a backward run of reverse(R) locates the leftmost start. Empty-word
+/// matches (nullable R) yield the span [0, 0).
+std::optional<std::pair<size_t, size_t>>
+findFirstMatch(DerivativeEngine &Engine, Re R,
+               const std::vector<uint32_t> &Word);
+
+/// Counts |L(R) ∩ Σ^Len| exactly, by dynamic programming over the
+/// derivative state space: count(q, n) = Σ_arcs |guard| · count(target,
+/// n−1). Saturates at UINT64_MAX on overflow (easy over Unicode: |Σ| is
+/// already 2^20.08). Returns nullopt when more than \p MaxStates derivative
+/// states would be materialized (0 = unlimited).
+std::optional<uint64_t> countWordsOfLength(DerivativeEngine &Engine, Re R,
+                                           size_t Len, size_t MaxStates = 0);
+
+} // namespace sbd
+
+#endif // SBD_CORE_LANGUAGEOPS_H

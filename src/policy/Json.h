@@ -1,0 +1,75 @@
+//===- policy/Json.h - Minimal JSON reader -----------------------------------===//
+///
+/// \file
+/// A small JSON parser sufficient for the cloud-policy documents of the
+/// paper's Fig. 1 (objects, arrays, strings with standard escapes, numbers,
+/// booleans, null). No external dependencies; parse errors carry an offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_POLICY_JSON_H
+#define SBD_POLICY_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sbd {
+
+/// One JSON value (tree ownership via value semantics).
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+  const std::vector<JsonValue> &asArray() const { return Arr; }
+  const std::map<std::string, JsonValue> &asObject() const { return Obj; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *get(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = Obj.find(Key);
+    return It == Obj.end() ? nullptr : &It->second;
+  }
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool V);
+  static JsonValue number(double V);
+  static JsonValue string(std::string V);
+  static JsonValue array(std::vector<JsonValue> V);
+  static JsonValue object(std::map<std::string, JsonValue> V);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+};
+
+/// Parse outcome.
+struct JsonParseResult {
+  bool Ok = false;
+  JsonValue Value;
+  std::string Error;
+  size_t ErrorPos = 0;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+JsonParseResult parseJson(const std::string &Text);
+
+} // namespace sbd
+
+#endif // SBD_POLICY_JSON_H

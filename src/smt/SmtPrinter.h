@@ -1,0 +1,44 @@
+//===- smt/SmtPrinter.h - Regex → SMT-LIB term rendering --------------------===//
+///
+/// \file
+/// Renders interned regexes back into SMT-LIB2 `re.*` terms and whole
+/// benchmark instances into `.smt2` scripts. Together with the reader in
+/// SmtSolver this closes the loop: our generated benchmark suites can be
+/// exported as an SMT-LIB corpus (the form the paper's artifact ships its
+/// benchmarks in) and re-consumed by this or any other SMT string solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SMT_SMTPRINTER_H
+#define SBD_SMT_SMTPRINTER_H
+
+#include "re/Regex.h"
+
+#include <optional>
+#include <string>
+
+namespace sbd {
+
+/// Renders R as an SMT-LIB regular-expression term (`re.++`, `re.union`,
+/// `re.inter`, `re.comp`, `re.*`, `(_ re.loop m n)`, `re.range`,
+/// `str.to_re`, `re.none`, `re.all`, `re.allchar`).
+std::string regexToSmtTerm(const RegexManager &M, Re R);
+
+/// Renders a complete script asserting `(str.in_re s R)` for a fresh
+/// string constant, with an optional `(set-info :status …)` label.
+std::string regexToSmtScript(const RegexManager &M, Re R,
+                             std::optional<bool> ExpectedSat,
+                             const std::string &VarName = "s");
+
+/// Escapes a code-point word as an SMT-LIB string literal (doubling
+/// quotes; non-ASCII via \\u{...} escapes understood by SMT-LIB 2.6).
+std::string smtStringLiteral(const std::vector<uint32_t> &Word);
+
+/// Decodes the *contents* of an SMT-LIB string literal (quotes already
+/// stripped, doubled quotes already collapsed by the reader): UTF-8 bytes
+/// plus the SMT-LIB 2.6 escapes \\u{H+} and \\uHHHH.
+std::vector<uint32_t> decodeSmtString(const std::string &Contents);
+
+} // namespace sbd
+
+#endif // SBD_SMT_SMTPRINTER_H

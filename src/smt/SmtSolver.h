@@ -1,0 +1,61 @@
+//===- smt/SmtSolver.h - SMT-LIB string/regex front end ---------------------===//
+///
+/// \file
+/// A standalone front end for the SMT-LIB fragment the paper's benchmarks
+/// live in: string constants constrained by Boolean combinations of regex
+/// memberships, plus `str.len` bounds and a few string predicates that
+/// reduce to memberships. This reproduces the dZ3 slice of Z3's sequence
+/// theory in isolation:
+///
+///  - every regex term compiles to a symbolic ERE;
+///  - `str.len` comparisons compile to `.{m,n}` regexes;
+///  - Boolean structure over memberships of one string compiles to a single
+///    extended regex (conjunction → `&`, negation → `~`, disjunction → `|`),
+///    the reduction of Section 2;
+///  - multiple string variables are handled by implicant enumeration over
+///    the Boolean skeleton — atoms of distinct variables are independent, so
+///    a consistent implicant splits into one ERE-satisfiability query per
+///    variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SMT_SMTSOLVER_H
+#define SBD_SMT_SMTSOLVER_H
+
+#include "automata/BoolExpr.h"
+#include "smt/SExpr.h"
+#include "solver/RegexSolver.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace sbd {
+
+/// Outcome of solving one SMT script.
+struct SmtResult {
+  SolveStatus Status = SolveStatus::Unknown;
+  /// Variable assignment (UTF-8 values) when Sat.
+  std::vector<std::pair<std::string, std::string>> Model;
+  /// Diagnostics for Unknown/Unsupported.
+  std::string Note;
+  /// The `(set-info :status …)` label, when present.
+  std::optional<bool> ExpectedSat;
+};
+
+/// SMT-LIB driver on top of the symbolic-Boolean-derivative regex solver.
+class SmtSolver {
+public:
+  explicit SmtSolver(RegexSolver &Solver) : Solver(Solver) {}
+
+  /// Parses and solves a whole script (up to its first check-sat).
+  SmtResult solveScript(const std::string &Script,
+                        const SolveOptions &Opts = {});
+
+private:
+  RegexSolver &Solver;
+};
+
+} // namespace sbd
+
+#endif // SBD_SMT_SMTSOLVER_H

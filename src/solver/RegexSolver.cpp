@@ -1,0 +1,185 @@
+//===- solver/RegexSolver.cpp - Decision procedure (Section 5) --------------===//
+
+#include "solver/RegexSolver.h"
+
+#include "support/Stopwatch.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+using namespace sbd;
+
+namespace {
+
+/// Per-query BFS bookkeeping: how a regex vertex was first reached.
+struct Reached {
+  Re Parent;
+  uint32_t Ch;
+  uint32_t Depth;
+};
+
+} // namespace
+
+SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
+  Stopwatch Timer;
+  SolveResult Result;
+
+  // Breadth-first unfolding of the der/ite/or/ere rules. Each queue entry is
+  // a regex goal for some suffix s_k.. of the string; depth = k.
+  std::deque<Re> Queue;
+  std::unordered_map<uint32_t, Reached> Visited; // Re.Id -> how reached
+
+  auto finishSat = [&](Re Final) {
+    // Reconstruct the witness by walking parents back to R.
+    std::vector<uint32_t> Word;
+    Re Cur = Final;
+    while (true) {
+      const Reached &Info = Visited.at(Cur.Id);
+      if (Info.Depth == 0)
+        break; // reached the root goal
+      Word.push_back(Info.Ch);
+      Cur = Info.Parent;
+    }
+    std::reverse(Word.begin(), Word.end());
+    Result.Status = SolveStatus::Sat;
+    Result.Witness = std::move(Word);
+    Result.StatesExplored = Visited.size();
+    Result.TimeUs = Timer.elapsedUs();
+    return Result;
+  };
+
+  Graph.addVertex(R);
+  Visited.emplace(R.Id, Reached{R, 0, 0});
+
+  // der rule, ε case: |s| = 0 ∧ ν(r).
+  if (M.nullable(R))
+    return finishSat(R);
+  if (Graph.isDead(R)) {
+    // bot rule: r was already proven a dead end by an earlier query.
+    Result.Status = SolveStatus::Unsat;
+    Result.TimeUs = Timer.elapsedUs();
+    return Result;
+  }
+  Queue.push_back(R);
+
+  size_t Steps = 0;
+  while (!Queue.empty()) {
+    // Budget checks (time checked periodically to keep it off the hot path).
+    if (Opts.MaxStates && Visited.size() > Opts.MaxStates) {
+      Result.Status = SolveStatus::Unknown;
+      Result.Note = "state budget exhausted";
+      break;
+    }
+    if (Opts.TimeoutMs > 0 && (++Steps & 0x3F) == 0 &&
+        Timer.elapsedMs() > Opts.TimeoutMs) {
+      Result.Status = SolveStatus::Unknown;
+      Result.Note = "timeout";
+      break;
+    }
+
+    bool Dfs = Opts.Strategy == SearchStrategy::Dfs;
+    Re Cur = Dfs ? Queue.back() : Queue.front();
+    if (Dfs)
+      Queue.pop_back();
+    else
+      Queue.pop_front();
+    uint32_t Depth = Visited.at(Cur.Id).Depth;
+
+    // der rule, |s| > 0 case: unfold δdnf(Cur) and upd the graph.
+    Tr Dnf = Engine.derivativeDnf(Cur);
+    std::vector<TrArc> Arcs = T.arcs(Dnf);
+    if (Opts.PreferSimplerArcs) {
+      // DFS pops from the back, so order large-to-small to explore the
+      // syntactically smallest residue first; BFS gains the same bias in
+      // dequeue order by sorting small-to-large.
+      bool Dfs = Opts.Strategy == SearchStrategy::Dfs;
+      std::stable_sort(Arcs.begin(), Arcs.end(),
+                       [&](const TrArc &A, const TrArc &B) {
+                         uint32_t SA = M.node(A.Target).Size;
+                         uint32_t SB = M.node(B.Target).Size;
+                         return Dfs ? SA > SB : SA < SB;
+                       });
+    }
+    std::vector<Re> Targets;
+    Targets.reserve(Arcs.size());
+    for (const TrArc &A : Arcs)
+      Targets.push_back(A.Target);
+    Graph.close(Cur, Targets);
+
+    for (const TrArc &A : Arcs) {
+      Re Next = A.Target;
+      if (Visited.count(Next.Id))
+        continue;
+      // ite rule: the branch guard must be satisfiable — arcs() guarantees
+      // it; pick a concrete representative for the witness.
+      auto Ch = A.Guard.sample();
+      assert(Ch && "arcs must carry satisfiable guards");
+      Visited.emplace(Next.Id, Reached{Cur, *Ch, Depth + 1});
+      // ere rule: in(s_{k+1}.., Next); ε sub-case checked on dequeue.
+      if (M.nullable(Next))
+        return finishSat(Next);
+      if (Graph.isDead(Next))
+        continue; // bot rule
+      Queue.push_back(Next);
+    }
+  }
+
+  if (Result.Status == SolveStatus::Unknown && !Result.Note.empty()) {
+    Result.StatesExplored = Visited.size();
+    Result.TimeUs = Timer.elapsedUs();
+    return Result;
+  }
+
+  // The whole reachable component is closed and contains no final vertex:
+  // R is a dead end, hence unsatisfiable (Theorem 5.2).
+  Result.Status = SolveStatus::Unsat;
+  Result.StatesExplored = Visited.size();
+  Result.TimeUs = Timer.elapsedUs();
+  assert(Graph.isDead(R) && "exhausted exploration must prove deadness");
+  return Result;
+}
+
+SolveResult
+RegexSolver::checkMembership(const std::vector<MembershipLiteral> &Literals,
+                             const SolveOptions &Opts) {
+  // in(s,r1) ∧ ¬in(s,r2) ∧ …  ⇒  in(s, r1 & ~r2 & …)   (Section 2)
+  std::vector<Re> Parts;
+  Parts.reserve(Literals.size());
+  for (const MembershipLiteral &L : Literals)
+    Parts.push_back(L.Positive ? L.Regex : M.complement(L.Regex));
+  return checkSat(M.interList(std::move(Parts)), Opts);
+}
+
+SolveResult RegexSolver::checkContains(Re A, Re B, const SolveOptions &Opts) {
+  return checkSat(M.diff(A, B), Opts);
+}
+
+SolveResult RegexSolver::checkEquivalent(Re A, Re B,
+                                         const SolveOptions &Opts) {
+  // r1 ≡ r2 iff (r1 & ~r2) | (r2 & ~r1) ≡ ⊥.
+  return checkSat(M.union_(M.diff(A, B), M.diff(B, A)), Opts);
+}
+
+RegexSolver::CaseSplit RegexSolver::caseSplit(Re R) {
+  CaseSplit Out;
+  Out.EmptyCase = M.nullable(R);
+  Out.Arcs = T.arcs(Engine.derivativeDnf(R));
+  // upd rule: record the derivative targets and close the vertex.
+  std::vector<Re> Targets;
+  Targets.reserve(Out.Arcs.size());
+  for (const TrArc &A : Out.Arcs)
+    Targets.push_back(A.Target);
+  Graph.addVertex(R);
+  Graph.close(R, Targets);
+  return Out;
+}
+
+Re RegexSolver::positionConstraint(const std::vector<CharSet> &Positions) {
+  std::vector<Re> Parts;
+  Parts.reserve(Positions.size() + 1);
+  for (const CharSet &S : Positions)
+    Parts.push_back(M.pred(S));
+  Parts.push_back(M.top());
+  return M.concatList(Parts);
+}

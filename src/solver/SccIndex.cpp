@@ -1,0 +1,174 @@
+//===- solver/SccIndex.cpp - Incremental SCC condensation --------------------===//
+
+#include "solver/SccIndex.h"
+
+#include <cassert>
+
+using namespace sbd;
+
+void SccIndex::addVertex(uint32_t V) {
+  assert(V == Parent.size() && "vertices must be added densely in order");
+  Parent.push_back(V);
+  Rank.push_back(0);
+  CompData D;
+  D.OpenVertices = 1;
+  Comp.push_back(std::move(D));
+}
+
+uint32_t SccIndex::find(uint32_t V) {
+  while (Parent[V] != V) {
+    Parent[V] = Parent[Parent[V]]; // path halving
+    V = Parent[V];
+  }
+  return V;
+}
+
+std::vector<uint32_t> SccIndex::normalizedSuccs(uint32_t Rep) {
+  std::set<uint32_t> Fresh;
+  for (uint32_t S : Comp[Rep].Succs) {
+    uint32_t R = find(S);
+    if (R != Rep)
+      Fresh.insert(R);
+  }
+  Comp[Rep].Succs.clear();
+  Comp[Rep].Succs.insert(Fresh.begin(), Fresh.end());
+  return std::vector<uint32_t>(Fresh.begin(), Fresh.end());
+}
+
+std::vector<uint32_t> SccIndex::normalizedPreds(uint32_t Rep) {
+  std::set<uint32_t> Fresh;
+  for (uint32_t P : Comp[Rep].Preds) {
+    uint32_t R = find(P);
+    if (R != Rep)
+      Fresh.insert(R);
+  }
+  Comp[Rep].Preds.clear();
+  Comp[Rep].Preds.insert(Fresh.begin(), Fresh.end());
+  return std::vector<uint32_t>(Fresh.begin(), Fresh.end());
+}
+
+void SccIndex::closeVertex(uint32_t V) {
+  uint32_t Rep = find(V);
+  assert(Comp[Rep].OpenVertices > 0 && "closing an already closed vertex");
+  --Comp[Rep].OpenVertices;
+  maybeMarkDead(Rep);
+}
+
+void SccIndex::markAlive(uint32_t V) {
+  uint32_t Rep = find(V);
+  assert(!Comp[Rep].Dead && "a dead component cannot become alive");
+  Comp[Rep].Alive = true;
+}
+
+bool SccIndex::reaches(uint32_t FromRep, uint32_t ToRep) {
+  if (FromRep == ToRep)
+    return true;
+  std::set<uint32_t> Seen = {FromRep};
+  std::vector<uint32_t> Stack = {FromRep};
+  while (!Stack.empty()) {
+    uint32_t Cur = Stack.back();
+    Stack.pop_back();
+    for (uint32_t S : normalizedSuccs(Cur)) {
+      if (S == ToRep)
+        return true;
+      if (Seen.insert(S).second)
+        Stack.push_back(S);
+    }
+  }
+  return false;
+}
+
+void SccIndex::mergeCycle(uint32_t SourceRep, uint32_t NewSuccRep) {
+  // The edge Source → NewSucc closes a cycle: every component lying on a
+  // path NewSucc ⇒* Source collapses into one. Compute Fwd = reachable
+  // from NewSucc and Bwd = co-reachable from Source; the merge set is
+  // their intersection (which contains both endpoints).
+  std::set<uint32_t> Fwd = {NewSuccRep};
+  {
+    std::vector<uint32_t> Stack = {NewSuccRep};
+    while (!Stack.empty()) {
+      uint32_t Cur = Stack.back();
+      Stack.pop_back();
+      for (uint32_t S : normalizedSuccs(Cur))
+        if (Fwd.insert(S).second)
+          Stack.push_back(S);
+    }
+  }
+  std::set<uint32_t> Bwd = {SourceRep};
+  {
+    std::vector<uint32_t> Stack = {SourceRep};
+    while (!Stack.empty()) {
+      uint32_t Cur = Stack.back();
+      Stack.pop_back();
+      for (uint32_t P : normalizedPreds(Cur))
+        if (Fwd.count(P) && Bwd.insert(P).second) // prune to Fwd
+          Stack.push_back(P);
+    }
+  }
+
+  std::vector<uint32_t> Members;
+  for (uint32_t R : Bwd)
+    if (Fwd.count(R))
+      Members.push_back(R);
+  assert(Members.size() >= 2 && "a cycle merge involves both endpoints");
+
+  // Union-find merge; collect the union of the members' data.
+  uint32_t Root = Members[0];
+  for (uint32_t R : Members)
+    if (Rank[R] > Rank[Root])
+      Root = R;
+  CompData Merged;
+  for (uint32_t R : Members) {
+    assert(!Comp[R].Dead && "dead components cannot be on new cycles");
+    Merged.OpenVertices += Comp[R].OpenVertices;
+    Merged.Alive = Merged.Alive || Comp[R].Alive;
+    Merged.Succs.insert(Comp[R].Succs.begin(), Comp[R].Succs.end());
+    Merged.Preds.insert(Comp[R].Preds.begin(), Comp[R].Preds.end());
+    if (R != Root) {
+      Parent[R] = Root;
+      if (Rank[R] == Rank[Root])
+        ++Rank[Root];
+      Comp[R] = CompData(); // release member data
+    }
+  }
+  Comp[Root] = std::move(Merged);
+  // Normalize away self references created by the merge.
+  normalizedSuccs(Root);
+  normalizedPreds(Root);
+  maybeMarkDead(Root);
+}
+
+void SccIndex::addEdge(uint32_t From, uint32_t To) {
+  uint32_t FromRep = find(From), ToRep = find(To);
+  if (FromRep == ToRep)
+    return; // internal edge
+  assert(!Comp[FromRep].Dead && "dead components never gain edges");
+  if (reaches(ToRep, FromRep)) {
+    mergeCycle(FromRep, ToRep);
+    return;
+  }
+  Comp[FromRep].Succs.insert(ToRep);
+  Comp[ToRep].Preds.insert(FromRep);
+  // No dead check here: From is still open during its upd batch; the
+  // subsequent closeVertex triggers the check.
+}
+
+void SccIndex::maybeMarkDead(uint32_t Rep) {
+  Rep = find(Rep);
+  if (Comp[Rep].Dead || Comp[Rep].Alive || Comp[Rep].OpenVertices != 0)
+    return;
+  for (uint32_t S : normalizedSuccs(Rep))
+    if (!Comp[S].Dead)
+      return;
+  Comp[Rep].Dead = true;
+  // A newly dead component may complete the conditions of predecessors.
+  for (uint32_t P : normalizedPreds(Rep))
+    maybeMarkDead(P);
+}
+
+size_t SccIndex::numComponents() {
+  std::set<uint32_t> Reps;
+  for (uint32_t V = 0; V != Parent.size(); ++V)
+    Reps.insert(find(V));
+  return Reps.size();
+}

@@ -1,0 +1,82 @@
+//===- solver/SolverResult.h - Shared solver result types -------------------===//
+///
+/// \file
+/// Result/option types shared by the symbolic-derivative solver and the
+/// baseline solvers used in the evaluation harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SOLVER_SOLVERRESULT_H
+#define SBD_SOLVER_SOLVERRESULT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbd {
+
+/// Outcome of a satisfiability query.
+enum class SolveStatus : uint8_t {
+  Sat,         ///< a witness word was found
+  Unsat,       ///< the language is provably empty
+  Unknown,     ///< budget (time or state) exhausted
+  Unsupported, ///< the solver cannot handle the input fragment
+};
+
+/// Exploration order for the derivative solver.
+enum class SearchStrategy : uint8_t {
+  Bfs, ///< breadth-first: shortest witness, larger frontier
+  Dfs, ///< depth-first: mimics SMT backtracking search; finds *a* witness
+       ///< fast on satisfiable instances with deep models
+};
+
+/// Resource budget for one query.
+struct SolveOptions {
+  /// Wall-clock budget in milliseconds; <= 0 means unlimited.
+  int64_t TimeoutMs = 0;
+  /// Maximum number of distinct states/regexes to explore; 0 = unlimited.
+  size_t MaxStates = 0;
+  /// Exploration order (derivative solver only).
+  SearchStrategy Strategy = SearchStrategy::Bfs;
+  /// Heuristic (the paper's future-work direction): visit arcs whose
+  /// target regex is syntactically smaller first — small residues tend to
+  /// be closer to ε, steering DFS toward witnesses. Never affects the
+  /// verdict, only exploration order.
+  bool PreferSimplerArcs = false;
+};
+
+/// Result of one query, including the statistics the benchmark harness
+/// reports.
+struct SolveResult {
+  SolveStatus Status = SolveStatus::Unknown;
+  /// A word in the language (Sat only).
+  std::vector<uint32_t> Witness;
+  /// States/regexes materialized while solving.
+  size_t StatesExplored = 0;
+  /// Wall-clock time spent, microseconds.
+  int64_t TimeUs = 0;
+  /// Diagnostic for Unknown/Unsupported.
+  std::string Note;
+
+  bool isSat() const { return Status == SolveStatus::Sat; }
+  bool isUnsat() const { return Status == SolveStatus::Unsat; }
+};
+
+/// Human-readable status name.
+inline const char *statusName(SolveStatus S) {
+  switch (S) {
+  case SolveStatus::Sat:
+    return "sat";
+  case SolveStatus::Unsat:
+    return "unsat";
+  case SolveStatus::Unknown:
+    return "unknown";
+  case SolveStatus::Unsupported:
+    return "unsupported";
+  }
+  return "?";
+}
+
+} // namespace sbd
+
+#endif // SBD_SOLVER_SOLVERRESULT_H

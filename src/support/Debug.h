@@ -1,0 +1,29 @@
+//===- support/Debug.h - Internal-error helpers ---------------------------===//
+///
+/// \file
+/// Small helpers for reporting violated invariants. `sbd_unreachable` is used
+/// to mark control-flow points that are impossible when the program
+/// invariants hold (e.g. a fully covered switch over a node kind).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SUPPORT_DEBUG_H
+#define SBD_SUPPORT_DEBUG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sbd {
+
+/// Aborts with a message; marks code paths that must never execute.
+[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
+                                         int Line) {
+  std::fprintf(stderr, "sbd fatal: %s at %s:%d\n", Msg, File, Line);
+  std::abort();
+}
+
+} // namespace sbd
+
+#define sbd_unreachable(MSG) ::sbd::unreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // SBD_SUPPORT_DEBUG_H

@@ -1,0 +1,56 @@
+//===- support/Rng.h - Deterministic random number generation --------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (splitmix64) used by the property tests
+/// and the workload generators. Determinism matters: benchmark instances and
+/// property-test cases must be reproducible across runs and machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SUPPORT_RNG_H
+#define SBD_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace sbd {
+
+/// SplitMix64 generator. Cheap to seed, statistically solid for test-case
+/// generation (not cryptographic).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Rejection-free multiply-shift; bias is negligible for test usage.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace sbd
+
+#endif // SBD_SUPPORT_RNG_H

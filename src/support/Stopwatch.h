@@ -1,0 +1,47 @@
+//===- support/Stopwatch.h - Wall-clock timing ------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock stopwatch used by the solver budgets and the
+/// benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SUPPORT_STOPWATCH_H
+#define SBD_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace sbd {
+
+/// Measures elapsed wall-clock time from construction (or the last reset).
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time in microseconds.
+  int64_t elapsedUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 Start)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (truncating).
+  int64_t elapsedMs() const { return elapsedUs() / 1000; }
+
+  /// Elapsed time in seconds as a double.
+  double elapsedSec() const {
+    return static_cast<double>(elapsedUs()) / 1e6;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace sbd
+
+#endif // SBD_SUPPORT_STOPWATCH_H

@@ -1,0 +1,104 @@
+//===- support/Unicode.cpp - Code point utilities ---------------------------===//
+
+#include "support/Unicode.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace sbd;
+
+void sbd::appendUtf8(uint32_t Cp, std::string &Out) {
+  assert(Cp <= MaxCodePoint && "code point out of range");
+  if (Cp < 0x80) {
+    Out.push_back(static_cast<char>(Cp));
+    return;
+  }
+  if (Cp < 0x800) {
+    Out.push_back(static_cast<char>(0xC0 | (Cp >> 6)));
+    Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+    return;
+  }
+  if (Cp < 0x10000) {
+    Out.push_back(static_cast<char>(0xE0 | (Cp >> 12)));
+    Out.push_back(static_cast<char>(0x80 | ((Cp >> 6) & 0x3F)));
+    Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+    return;
+  }
+  Out.push_back(static_cast<char>(0xF0 | (Cp >> 18)));
+  Out.push_back(static_cast<char>(0x80 | ((Cp >> 12) & 0x3F)));
+  Out.push_back(static_cast<char>(0x80 | ((Cp >> 6) & 0x3F)));
+  Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+}
+
+std::string sbd::toUtf8(const std::vector<uint32_t> &Word) {
+  std::string Out;
+  Out.reserve(Word.size());
+  for (uint32_t Cp : Word)
+    appendUtf8(Cp, Out);
+  return Out;
+}
+
+std::vector<uint32_t> sbd::fromUtf8(const std::string &Bytes) {
+  std::vector<uint32_t> Out;
+  size_t I = 0, N = Bytes.size();
+  auto cont = [&](size_t K) {
+    return I + K < N && (static_cast<uint8_t>(Bytes[I + K]) & 0xC0) == 0x80;
+  };
+  while (I < N) {
+    uint8_t B0 = static_cast<uint8_t>(Bytes[I]);
+    if (B0 < 0x80) {
+      Out.push_back(B0);
+      ++I;
+      continue;
+    }
+    if ((B0 & 0xE0) == 0xC0 && cont(1)) {
+      uint32_t Cp = (static_cast<uint32_t>(B0 & 0x1F) << 6) |
+                    (static_cast<uint8_t>(Bytes[I + 1]) & 0x3F);
+      Out.push_back(Cp);
+      I += 2;
+      continue;
+    }
+    if ((B0 & 0xF0) == 0xE0 && cont(1) && cont(2)) {
+      uint32_t Cp = (static_cast<uint32_t>(B0 & 0x0F) << 12) |
+                    ((static_cast<uint8_t>(Bytes[I + 1]) & 0x3F) << 6) |
+                    (static_cast<uint8_t>(Bytes[I + 2]) & 0x3F);
+      Out.push_back(Cp);
+      I += 3;
+      continue;
+    }
+    if ((B0 & 0xF8) == 0xF0 && cont(1) && cont(2) && cont(3)) {
+      uint32_t Cp = (static_cast<uint32_t>(B0 & 0x07) << 18) |
+                    ((static_cast<uint8_t>(Bytes[I + 1]) & 0x3F) << 12) |
+                    ((static_cast<uint8_t>(Bytes[I + 2]) & 0x3F) << 6) |
+                    (static_cast<uint8_t>(Bytes[I + 3]) & 0x3F);
+      Out.push_back(Cp <= MaxCodePoint ? Cp : 0xFFFD);
+      I += 4;
+      continue;
+    }
+    Out.push_back(0xFFFD);
+    ++I;
+  }
+  return Out;
+}
+
+std::string sbd::escapeCodePoint(uint32_t Cp) {
+  if (Cp >= 0x20 && Cp < 0x7F) {
+    char C = static_cast<char>(Cp);
+    if (C == '\\')
+      return "\\\\";
+    return std::string(1, C);
+  }
+  char Buf[16];
+  if (Cp <= 0xFFFF)
+    std::snprintf(Buf, sizeof(Buf), "\\u%04X", Cp);
+  else
+    std::snprintf(Buf, sizeof(Buf), "\\U{%06X}", Cp);
+  return std::string(Buf);
+}
+
+std::string sbd::escapeWord(const std::vector<uint32_t> &Word) {
+  std::string Out;
+  for (uint32_t Cp : Word)
+    Out += escapeCodePoint(Cp);
+  return Out;
+}

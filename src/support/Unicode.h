@@ -1,0 +1,44 @@
+//===- support/Unicode.h - Code point utilities -----------------------------===//
+///
+/// \file
+/// Utilities for working with Unicode code points: UTF-8 encoding of witness
+/// strings and printable escaping for diagnostics. The alphabet theory works
+/// over raw code points (0..0x10FFFF); these helpers only matter at the
+/// input/output boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SUPPORT_UNICODE_H
+#define SBD_SUPPORT_UNICODE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbd {
+
+/// Maximum valid Unicode code point.
+inline constexpr uint32_t MaxCodePoint = 0x10FFFF;
+
+/// Appends the UTF-8 encoding of \p Cp to \p Out. \p Cp must be a valid code
+/// point (<= MaxCodePoint); surrogates are encoded permissively (WTF-8 style)
+/// since the solver's domain is raw code points.
+void appendUtf8(uint32_t Cp, std::string &Out);
+
+/// Encodes a whole code-point sequence as UTF-8.
+std::string toUtf8(const std::vector<uint32_t> &Word);
+
+/// Decodes UTF-8 into code points. Invalid bytes decode as U+FFFD and
+/// consume one byte (lossy but total; used only by the front ends).
+std::vector<uint32_t> fromUtf8(const std::string &Bytes);
+
+/// Renders a code point for human consumption: printable ASCII as-is,
+/// everything else as \\uXXXX / \\U{XXXXXX}.
+std::string escapeCodePoint(uint32_t Cp);
+
+/// Renders a code-point word for human consumption (each char escaped).
+std::string escapeWord(const std::vector<uint32_t> &Word);
+
+} // namespace sbd
+
+#endif // SBD_SUPPORT_UNICODE_H

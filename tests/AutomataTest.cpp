@@ -1,0 +1,272 @@
+//===- tests/AutomataTest.cpp - Symbolic NFA/DFA + eager baseline tests ------===//
+
+#include "automata/EagerSolver.h"
+
+#include "core/Derivatives.h"
+#include "re/RegexParser.h"
+#include "solver/RegexSolver.h"
+#include "support/Rng.h"
+#include "support/Unicode.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+class AutomataTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+
+  Re re(const std::string &Pat) { return parseRegexOrDie(M, Pat); }
+
+  Snfa nfa(const std::string &Pat) {
+    auto A = compileReToNfa(M, re(Pat));
+    EXPECT_TRUE(A.has_value()) << Pat;
+    return std::move(*A);
+  }
+};
+
+TEST_F(AutomataTest, NfaBasicAcceptance) {
+  EXPECT_TRUE(nfa("abc").accepts(fromUtf8("abc")));
+  EXPECT_FALSE(nfa("abc").accepts(fromUtf8("ab")));
+  EXPECT_TRUE(nfa("a*b").accepts(fromUtf8("aaab")));
+  EXPECT_TRUE(nfa("a*").acceptsEmptyWord());
+  EXPECT_FALSE(nfa("a+").acceptsEmptyWord());
+  EXPECT_TRUE(nfa("(a|b){2,3}").accepts(fromUtf8("aba")));
+  EXPECT_FALSE(nfa("(a|b){2,3}").accepts(fromUtf8("a")));
+}
+
+TEST_F(AutomataTest, NfaRefusesExtendedOperators) {
+  // (a&b collapses to ⊥ in the regex algebra, so use intersections the
+  // constructors cannot see through.)
+  EXPECT_FALSE(compileReToNfa(M, re("(ab)&(cd)")).has_value());
+  EXPECT_FALSE(compileReToNfa(M, re("~a")).has_value());
+}
+
+TEST_F(AutomataTest, LoopUnrollBudget) {
+  EXPECT_FALSE(compileReToNfa(M, re("a{1000}"), /*MaxStates=*/100).has_value());
+  EXPECT_TRUE(compileReToNfa(M, re("a{50}"), /*MaxStates=*/150).has_value());
+}
+
+TEST_F(AutomataTest, NfaAgreesWithMatcherOnRandomRe) {
+  Rng Rand(11);
+  const char *Patterns[] = {"(a|b)*abb", "a(b|c)*d?", "(ab)*|(ba)*",
+                            "a{2,4}b{0,2}", "\\d+[a-f]*", "(a?b){3}"};
+  static const uint32_t Alphabet[] = {'a', 'b', 'c', 'd', '5', 'f'};
+  for (const char *P : Patterns) {
+    Re R = re(P);
+    Snfa A = nfa(P);
+    for (int I = 0; I != 60; ++I) {
+      std::vector<uint32_t> W;
+      size_t Len = Rand.below(7);
+      for (size_t J = 0; J != Len; ++J)
+        W.push_back(Alphabet[Rand.below(std::size(Alphabet))]);
+      EXPECT_EQ(A.accepts(W), E.matches(R, W)) << P;
+    }
+  }
+}
+
+TEST_F(AutomataTest, DeterminizeAgreesWithNfa) {
+  Rng Rand(13);
+  const char *Patterns[] = {"(a|b)*abb", "(ab)*|(ba)*", "\\d+[a-f]*",
+                            "a{2,4}"};
+  static const uint32_t Alphabet[] = {'a', 'b', '5', 'f'};
+  for (const char *P : Patterns) {
+    Snfa A = nfa(P);
+    auto D = Sdfa::determinize(A, 0);
+    ASSERT_TRUE(D.has_value());
+    for (int I = 0; I != 60; ++I) {
+      std::vector<uint32_t> W;
+      size_t Len = Rand.below(7);
+      for (size_t J = 0; J != Len; ++J)
+        W.push_back(Alphabet[Rand.below(std::size(Alphabet))]);
+      EXPECT_EQ(D->accepts(W), A.accepts(W)) << P;
+    }
+  }
+}
+
+TEST_F(AutomataTest, DfaCompleteness) {
+  // Every state's outgoing guards must partition the full alphabet — the
+  // invariant that makes complement a final-flip.
+  auto D = Sdfa::determinize(nfa("(a|b)*abb"), 0);
+  ASSERT_TRUE(D.has_value());
+  for (const auto &Out : D->Trans) {
+    CharSet Union;
+    for (const auto &[Guard, To] : Out) {
+      EXPECT_TRUE(Union.isDisjointFrom(Guard));
+      Union = Union.unionWith(Guard);
+    }
+    EXPECT_TRUE(Union.isFull());
+  }
+}
+
+TEST_F(AutomataTest, ComplementAndProduct) {
+  auto D = Sdfa::determinize(nfa("(a|b)*abb"), 0);
+  ASSERT_TRUE(D.has_value());
+  Sdfa NotD = D->complement();
+  EXPECT_NE(D->accepts(fromUtf8("abb")), NotD.accepts(fromUtf8("abb")));
+  EXPECT_NE(D->accepts(fromUtf8("ab")), NotD.accepts(fromUtf8("ab")));
+
+  auto D2 = Sdfa::determinize(nfa("a(a|b)*"), 0);
+  ASSERT_TRUE(D2.has_value());
+  auto Inter = Sdfa::product(*D, *D2, /*IsUnion=*/false, 0);
+  ASSERT_TRUE(Inter.has_value());
+  EXPECT_TRUE(Inter->accepts(fromUtf8("abb")));
+  EXPECT_FALSE(Inter->accepts(fromUtf8("babb"))); // starts with b ∉ a(a|b)*
+  auto Uni = Sdfa::product(*D, *D2, /*IsUnion=*/true, 0);
+  ASSERT_TRUE(Uni.has_value());
+  EXPECT_TRUE(Uni->accepts(fromUtf8("babb")));
+  EXPECT_TRUE(Uni->accepts(fromUtf8("a")));
+}
+
+TEST_F(AutomataTest, MinimizationPreservesLanguage) {
+  Rng Rand(17);
+  const char *Patterns[] = {"(a|b)*abb", "(ab)*|(ba)*", "a{2,4}b?",
+                            "\\d+[a-f]*", "(a|b)*(aa|bb)(a|b)*"};
+  static const uint32_t Alphabet[] = {'a', 'b', '5', 'f'};
+  for (const char *P : Patterns) {
+    auto D = Sdfa::determinize(nfa(P), 0);
+    ASSERT_TRUE(D.has_value());
+    Sdfa Min = D->minimize();
+    EXPECT_LE(Min.numStates(), D->numStates());
+    for (int I = 0; I != 80; ++I) {
+      std::vector<uint32_t> W;
+      size_t Len = Rand.below(8);
+      for (size_t J = 0; J != Len; ++J)
+        W.push_back(Alphabet[Rand.below(std::size(Alphabet))]);
+      EXPECT_EQ(Min.accepts(W), D->accepts(W)) << P;
+    }
+    // Idempotence: minimizing a minimal DFA changes nothing.
+    EXPECT_EQ(Min.minimize().numStates(), Min.numStates()) << P;
+  }
+}
+
+TEST_F(AutomataTest, MinimizationReachesCanonicalSize) {
+  // The minimal complete DFA of (a|b)*abb over Σ has 4 live states plus a
+  // sink for characters outside {a,b}: 5 states total.
+  auto D = Sdfa::determinize(nfa("(a|b)*abb"), 0);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->minimize().numStates(), 5u);
+
+  // Equivalent regexes minimize to the same number of states.
+  auto D1 = Sdfa::determinize(nfa("(a|b)*"), 0);
+  auto D2 = Sdfa::determinize(nfa("(a*b*)*"), 0);
+  ASSERT_TRUE(D1 && D2);
+  EXPECT_EQ(D1->minimize().numStates(), D2->minimize().numStates());
+}
+
+TEST_F(AutomataTest, MinimizationMergesSymbolicGuards) {
+  // a|b|c determinizes with one guard [a-c]; states reached by each letter
+  // are equivalent and must merge.
+  auto D = Sdfa::determinize(nfa("(a|b|c)x"), 0);
+  ASSERT_TRUE(D.has_value());
+  Sdfa Min = D->minimize();
+  // init, mid, accept, sink.
+  EXPECT_EQ(Min.numStates(), 4u);
+}
+
+TEST_F(AutomataTest, WitnessSearch) {
+  auto W = nfa("a{3}b").findWitness();
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(toUtf8(*W), "aaab");
+  EXPECT_FALSE(Snfa::empty().findWitness().has_value());
+}
+
+class EagerSolverTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+  RegexSolver Reference{E};
+
+  Re re(const std::string &Pat) { return parseRegexOrDie(M, Pat); }
+};
+
+TEST_F(EagerSolverTest, AgreesWithDerivativeSolver) {
+  EagerSolver Eager(M);
+  const char *Patterns[] = {
+      "abc",
+      "a+&b+",
+      "(ab)+&(ba)+",
+      "(.*a.*)&(.*b.*)",
+      "~(.*)",
+      "~(ab)",
+      "(.*\\d.*)&~(.*01.*)",
+      "\\d{4}-[a-zA-Z]{3}-\\d{2}&(2019.*|2020.*)",
+      "(.*a.{3})&(.*b.{3})",
+      "a{2,4}&a{5,6}",
+      "a{2,4}&a{4,6}",
+  };
+  for (const char *P : Patterns) {
+    Re R = re(P);
+    SolveResult Ref = Reference.checkSat(R);
+    SolveResult Got = Eager.solve(R);
+    ASSERT_NE(Ref.Status, SolveStatus::Unknown);
+    ASSERT_NE(Got.Status, SolveStatus::Unknown) << P;
+    EXPECT_EQ(Got.Status, Ref.Status) << P;
+    if (Got.isSat()) {
+      EXPECT_TRUE(E.matches(R, Got.Witness)) << P;
+    }
+  }
+}
+
+TEST_F(EagerSolverTest, BlowupConsumesStates) {
+  // The eager pipeline pays exponentially in k on the blowup family while
+  // the derivative solver stays small — the paper's headline contrast.
+  EagerSolver Eager(M);
+  size_t Prev = 0;
+  for (uint32_t K : {2u, 4u, 6u}) {
+    std::string P = "(.*a.{" + std::to_string(K) + "})&(.*b.{" +
+                    std::to_string(K) + "})";
+    SolveResult Got = Eager.solve(re(P));
+    EXPECT_TRUE(Got.isUnsat()) << P;
+    EXPECT_GT(Eager.lastStatesBuilt(), Prev);
+    Prev = Eager.lastStatesBuilt();
+  }
+  // Growth from k=2 to k=6 should be clearly super-linear (>8x).
+  SolveResult Small = Eager.solve(re("(.*a.{2})&(.*b.{2})"));
+  size_t SmallStates = Eager.lastStatesBuilt();
+  SolveResult Big = Eager.solve(re("(.*a.{6})&(.*b.{6})"));
+  size_t BigStates = Eager.lastStatesBuilt();
+  EXPECT_TRUE(Small.isUnsat());
+  EXPECT_TRUE(Big.isUnsat());
+  EXPECT_GT(BigStates, 8 * SmallStates);
+}
+
+TEST_F(EagerSolverTest, BudgetsReportUnknown) {
+  EagerSolver Eager(M);
+  SolveOptions Opts;
+  Opts.MaxStates = 50;
+  SolveResult Got = Eager.solve(re("(.*a.{10})&(.*b.{10})"), Opts);
+  EXPECT_EQ(Got.Status, SolveStatus::Unknown);
+}
+
+TEST_F(EagerSolverTest, MinimizePolicyAgrees) {
+  EagerSolver Plain(M);
+  EagerSolver Minimizing(M, EagerSolver::Policy::DeterminizeMinimize);
+  const char *Patterns[] = {"(.*a.*)&(.*b.*)", "a+&b+", "~(ab)",
+                            "(.*\\d.*)&~(.*01.*)", "(.*a.{3})&(.*b.{3})"};
+  for (const char *P : Patterns) {
+    Re R = re(P);
+    SolveResult A = Plain.solve(R);
+    SolveResult B = Minimizing.solve(R);
+    ASSERT_NE(A.Status, SolveStatus::Unknown) << P;
+    EXPECT_EQ(B.Status, A.Status) << P;
+    if (B.isSat()) {
+      EXPECT_TRUE(E.matches(R, B.Witness)) << P;
+    }
+  }
+}
+
+TEST_F(EagerSolverTest, NfaProductPolicy) {
+  EagerSolver Eager(M, EagerSolver::Policy::NfaProduct);
+  // The ablation policy agrees on results; it only shifts where the cost is.
+  EXPECT_TRUE(Eager.solve(re("(.*a.*)&(.*b.*)")).isSat());
+  EXPECT_TRUE(Eager.solve(re("a+&b+")).isUnsat());
+  EXPECT_TRUE(Eager.solve(re("~(ab)&ab")).isUnsat());
+}
+
+} // namespace

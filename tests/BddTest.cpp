@@ -1,0 +1,108 @@
+//===- tests/BddTest.cpp - BDD character-algebra tests ------------------------===//
+
+#include "charset/Bdd.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+CharSet randomSet(Rng &R) {
+  size_t N = R.below(6);
+  std::vector<CharRange> Rs;
+  for (size_t I = 0; I != N; ++I) {
+    uint32_t Lo = static_cast<uint32_t>(R.below(MaxCodePoint));
+    uint32_t Hi = std::min<uint32_t>(
+        Lo + static_cast<uint32_t>(R.below(5000)), MaxCodePoint);
+    Rs.push_back({Lo, Hi});
+  }
+  return CharSet::fromRanges(std::move(Rs));
+}
+
+TEST(Bdd, TerminalsAndDomain) {
+  BddManager B;
+  EXPECT_TRUE(B.isEmpty(B.falseBdd()));
+  EXPECT_FALSE(B.isEmpty(B.domain()));
+  EXPECT_EQ(B.satCount(B.domain()), uint64_t(MaxCodePoint) + 1);
+  EXPECT_EQ(B.toCharSet(B.domain()), CharSet::full());
+}
+
+TEST(Bdd, RoundTripNamedClasses) {
+  BddManager B;
+  for (const CharSet &S : {CharSet::digit(), CharSet::word(),
+                           CharSet::space(), CharSet::asciiLetter(),
+                           CharSet::full(), CharSet()}) {
+    BddRef R = B.fromCharSet(S);
+    EXPECT_EQ(B.toCharSet(R), S);
+    EXPECT_EQ(B.satCount(R), S.count());
+  }
+}
+
+TEST(Bdd, ContainsMatchesCharSet) {
+  BddManager B;
+  CharSet S = CharSet::word();
+  BddRef R = B.fromCharSet(S);
+  for (uint32_t Cp : {uint32_t('a'), uint32_t('_'), uint32_t('!'),
+                      uint32_t(0x4E2D), uint32_t(0), MaxCodePoint})
+    EXPECT_EQ(B.contains(R, Cp), S.contains(Cp)) << Cp;
+}
+
+TEST(Bdd, ExtensionalityByCanonicity) {
+  BddManager B;
+  // Same denotation reached via different constructions ⇒ identical refs.
+  BddRef A = B.bddOr(B.fromCharSet(CharSet::range('a', 'f')),
+                     B.fromCharSet(CharSet::range('d', 'k')));
+  BddRef C = B.fromCharSet(CharSet::range('a', 'k'));
+  EXPECT_TRUE(B.equal(A, C));
+  EXPECT_EQ(A.Id, C.Id);
+}
+
+TEST(Bdd, DomainRelativeComplement) {
+  BddManager B;
+  BddRef D = B.fromCharSet(CharSet::digit());
+  BddRef NotD = B.bddNot(D);
+  EXPECT_EQ(B.toCharSet(NotD), CharSet::digit().complement());
+  // Involution.
+  EXPECT_TRUE(B.equal(B.bddNot(NotD), D));
+  // Complement never escapes the domain.
+  EXPECT_EQ(B.satCount(B.bddOr(D, NotD)), uint64_t(MaxCodePoint) + 1);
+}
+
+class BddPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BddPropertyTest, OperationsAgreeWithIntervalAlgebra) {
+  BddManager B;
+  Rng R(GetParam());
+  for (int I = 0; I != 6; ++I) {
+    CharSet X = randomSet(R), Y = randomSet(R);
+    BddRef Bx = B.fromCharSet(X), By = B.fromCharSet(Y);
+    EXPECT_EQ(B.toCharSet(B.bddAnd(Bx, By)), X.intersectWith(Y));
+    EXPECT_EQ(B.toCharSet(B.bddOr(Bx, By)), X.unionWith(Y));
+    EXPECT_EQ(B.toCharSet(B.bddNot(Bx)), X.complement());
+    EXPECT_EQ(B.satCount(Bx), X.count());
+    // Extensionality across both algebras: structural equality of interval
+    // sets iff ref equality of BDDs.
+    EXPECT_EQ(X == Y, B.equal(Bx, By));
+    // Round trip.
+    EXPECT_EQ(B.toCharSet(Bx), X);
+  }
+}
+
+TEST_P(BddPropertyTest, DeMorganOnRefs) {
+  BddManager B;
+  Rng R(GetParam());
+  CharSet X = randomSet(R), Y = randomSet(R);
+  BddRef Bx = B.fromCharSet(X), By = B.fromCharSet(Y);
+  EXPECT_TRUE(B.equal(B.bddNot(B.bddOr(Bx, By)),
+                      B.bddAnd(B.bddNot(Bx), B.bddNot(By))));
+  EXPECT_TRUE(B.equal(B.bddNot(B.bddAnd(Bx, By)),
+                      B.bddOr(B.bddNot(Bx), B.bddNot(By))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

@@ -1,0 +1,126 @@
+//===- tests/CachedMatcherTest.cpp - SRM-style matcher tests -----------------===//
+
+#include "core/CachedMatcher.h"
+
+#include "re/RegexParser.h"
+#include "support/Rng.h"
+#include "support/Unicode.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+class CachedMatcherTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+
+  Re re(const std::string &Pat) { return parseRegexOrDie(M, Pat); }
+};
+
+TEST_F(CachedMatcherTest, BasicAcceptance) {
+  CachedMatcher Matcher(E, re("a*b"));
+  EXPECT_TRUE(Matcher.matches(std::string("b")));
+  EXPECT_TRUE(Matcher.matches(std::string("aaab")));
+  EXPECT_FALSE(Matcher.matches(std::string("a")));
+  EXPECT_FALSE(Matcher.matches(std::string("ba")));
+  EXPECT_FALSE(Matcher.matches(std::string("")));
+}
+
+TEST_F(CachedMatcherTest, ExtendedOperators) {
+  CachedMatcher Matcher(E, re("(.*\\d.*)&~(.*01.*)"));
+  EXPECT_TRUE(Matcher.matches(std::string("x7y")));
+  EXPECT_FALSE(Matcher.matches(std::string("x01y")));
+  EXPECT_FALSE(Matcher.matches(std::string("xyz")));
+  EXPECT_TRUE(Matcher.matches(std::string("0")));
+  EXPECT_TRUE(Matcher.matches(std::string("10")));
+}
+
+TEST_F(CachedMatcherTest, StatesAreSharedAcrossCalls) {
+  CachedMatcher Matcher(E, re("(a|b)*abb"));
+  (void)Matcher.matches(std::string("abb"));
+  size_t AfterFirst = Matcher.statesMaterialized();
+  // Matching more strings over the same prefix structure reuses states.
+  (void)Matcher.matches(std::string("aabb"));
+  (void)Matcher.matches(std::string("babb"));
+  (void)Matcher.matches(std::string("ababab"));
+  size_t AfterMore = Matcher.statesMaterialized();
+  // (a|b)*abb has exactly 4 Brzozowski classes over {a,b} plus possibly the
+  // initial; the table must stay tiny, not grow per input.
+  EXPECT_LE(AfterMore, AfterFirst + 4);
+}
+
+TEST_F(CachedMatcherTest, LazinessOnHugeRegex) {
+  // Matching a short input against a regex with a large reachable space
+  // must not materialize that space.
+  CachedMatcher Matcher(E, re("(.*a.{40})&(.*b.{40})"));
+  EXPECT_FALSE(Matcher.matches(std::string("ab")));
+  EXPECT_LE(Matcher.statesMaterialized(), 8u);
+}
+
+TEST_F(CachedMatcherTest, UnicodeRanges) {
+  CachedMatcher Matcher(E, re("[\\u4E00-\\u9FFF]+x?"));
+  EXPECT_TRUE(Matcher.matches(std::string("\xE4\xB8\xAD")));
+  EXPECT_TRUE(Matcher.matches(std::string("\xE4\xB8\xADx")));
+  EXPECT_FALSE(Matcher.matches(std::string("x")));
+}
+
+class CachedMatcherPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+Re randomRegex(RegexManager &M, Rng &R, int Depth) {
+  if (Depth <= 0) {
+    switch (R.below(4)) {
+    case 0:
+      return M.chr(static_cast<uint32_t>('a' + R.below(3)));
+    case 1:
+      return M.pred(CharSet::digit());
+    case 2:
+      return M.epsilon();
+    default:
+      return M.anyChar();
+    }
+  }
+  switch (R.below(7)) {
+  case 0:
+    return M.concat(randomRegex(M, R, Depth - 1), randomRegex(M, R, Depth - 1));
+  case 1:
+    return M.union_(randomRegex(M, R, Depth - 1), randomRegex(M, R, Depth - 1));
+  case 2:
+    return M.inter(randomRegex(M, R, Depth - 1), randomRegex(M, R, Depth - 1));
+  case 3:
+    return M.star(randomRegex(M, R, Depth - 1));
+  case 4:
+    return M.complement(randomRegex(M, R, Depth - 1));
+  default:
+    return randomRegex(M, R, 0);
+  }
+}
+
+TEST_P(CachedMatcherPropertyTest, AgreesWithUncachedMatcher) {
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  Rng Rand(GetParam());
+  static const uint32_t Alphabet[] = {'a', 'b', 'c', '5', 'z'};
+  for (int I = 0; I != 6; ++I) {
+    Re R = randomRegex(M, Rand, 4);
+    CachedMatcher Matcher(E, R);
+    for (int W = 0; W != 25; ++W) {
+      std::vector<uint32_t> Word;
+      size_t Len = Rand.below(6);
+      for (size_t J = 0; J != Len; ++J)
+        Word.push_back(Alphabet[Rand.below(std::size(Alphabet))]);
+      EXPECT_EQ(Matcher.matches(Word), E.matches(R, Word))
+          << "cached matcher disagrees on " << M.toString(R);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachedMatcherPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+} // namespace

@@ -1,0 +1,191 @@
+//===- tests/CharSetTest.cpp - Character algebra unit + property tests -----===//
+
+#include "charset/CharSet.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+TEST(CharSet, EmptyAndFull) {
+  CharSet E;
+  EXPECT_TRUE(E.isEmpty());
+  EXPECT_FALSE(E.isFull());
+  EXPECT_EQ(E.count(), 0u);
+  EXPECT_FALSE(E.contains('a'));
+  EXPECT_EQ(E.minElement(), std::nullopt);
+
+  CharSet F = CharSet::full();
+  EXPECT_TRUE(F.isFull());
+  EXPECT_FALSE(F.isEmpty());
+  EXPECT_EQ(F.count(), uint64_t(MaxCodePoint) + 1);
+  EXPECT_TRUE(F.contains(0));
+  EXPECT_TRUE(F.contains(MaxCodePoint));
+}
+
+TEST(CharSet, SingletonAndRange) {
+  CharSet S = CharSet::singleton('x');
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_TRUE(S.contains('x'));
+  EXPECT_FALSE(S.contains('y'));
+
+  CharSet R = CharSet::range('a', 'z');
+  EXPECT_EQ(R.count(), 26u);
+  EXPECT_TRUE(R.contains('a'));
+  EXPECT_TRUE(R.contains('m'));
+  EXPECT_FALSE(R.contains('A'));
+}
+
+TEST(CharSet, FromRangesCoalesces) {
+  // Overlapping and adjacent ranges must coalesce into canonical form.
+  CharSet S = CharSet::fromRanges({{5, 10}, {11, 20}, {15, 30}, {40, 41}});
+  ASSERT_EQ(S.ranges().size(), 2u);
+  EXPECT_EQ(S.ranges()[0].Lo, 5u);
+  EXPECT_EQ(S.ranges()[0].Hi, 30u);
+  EXPECT_EQ(S.ranges()[1].Lo, 40u);
+  EXPECT_EQ(S.ranges()[1].Hi, 41u);
+}
+
+TEST(CharSet, CanonicityGivesExtensionality) {
+  // Same denotation, different construction order ⇒ identical value.
+  CharSet A = CharSet::range('a', 'f').unionWith(CharSet::range('d', 'k'));
+  CharSet B = CharSet::range('a', 'k');
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(CharSet, UnionIntersectComplementBasics) {
+  CharSet D = CharSet::digit();
+  CharSet W = CharSet::word();
+  EXPECT_TRUE(D.isSubsetOf(W));
+  EXPECT_EQ(D.intersectWith(W), D);
+  EXPECT_EQ(D.unionWith(W), W);
+  EXPECT_TRUE(D.isDisjointFrom(CharSet::asciiLetter()));
+  EXPECT_FALSE(W.isDisjointFrom(CharSet::asciiLetter()));
+
+  CharSet NotD = D.complement();
+  EXPECT_TRUE(D.isDisjointFrom(NotD));
+  EXPECT_EQ(D.unionWith(NotD), CharSet::full());
+  EXPECT_EQ(NotD.complement(), D);
+}
+
+TEST(CharSet, MinusAndSubset) {
+  CharSet W = CharSet::word();
+  CharSet D = CharSet::digit();
+  CharSet WnoD = W.minus(D);
+  EXPECT_EQ(WnoD.count(), W.count() - D.count());
+  EXPECT_FALSE(WnoD.contains('5'));
+  EXPECT_TRUE(WnoD.contains('a'));
+  EXPECT_TRUE(WnoD.isSubsetOf(W));
+}
+
+TEST(CharSet, SamplePrefersPrintable) {
+  // A set containing control chars and 'q' should sample a printable char.
+  CharSet S = CharSet::fromRanges({{0, 8}, {'q', 'q'}});
+  auto C = S.sample();
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(*C, uint32_t('q'));
+  EXPECT_EQ(S.minElement(), std::make_optional<uint32_t>(0));
+}
+
+TEST(CharSet, StrRendering) {
+  EXPECT_EQ(CharSet().str(), "[]");
+  EXPECT_EQ(CharSet::full().str(), ".");
+  EXPECT_EQ(CharSet::digit().str(), "\\d");
+  EXPECT_EQ(CharSet::word().str(), "\\w");
+  EXPECT_EQ(CharSet::singleton('a').str(), "a");
+  EXPECT_EQ(CharSet::singleton('*').str(), "\\*");
+  EXPECT_EQ(CharSet::range('a', 'f').str(), "[a-f]");
+}
+
+TEST(CharSet, MintermsOfDisjointSets) {
+  std::vector<CharSet> Sets = {CharSet::digit(), CharSet::asciiLetter()};
+  std::vector<CharSet> Mt = computeMinterms(Sets);
+  // digits, letters, everything else.
+  EXPECT_EQ(Mt.size(), 3u);
+}
+
+TEST(CharSet, MintermsOfOverlappingSets) {
+  std::vector<CharSet> Sets = {CharSet::word(), CharSet::digit()};
+  std::vector<CharSet> Mt = computeMinterms(Sets);
+  // word∧digit, word∧¬digit, ¬word (¬digit); the signature digit∧¬word is
+  // unsatisfiable and must not appear.
+  EXPECT_EQ(Mt.size(), 3u);
+}
+
+/// Property sweep: algebra axioms hold on randomly generated sets.
+class CharSetPropertyTest : public ::testing::TestWithParam<uint64_t> {
+protected:
+  static CharSet randomSet(Rng &R) {
+    size_t N = R.below(5);
+    std::vector<CharRange> Rs;
+    for (size_t I = 0; I != N; ++I) {
+      uint32_t Lo = static_cast<uint32_t>(R.below(1000));
+      uint32_t Hi = Lo + static_cast<uint32_t>(R.below(200));
+      Rs.push_back({Lo, Hi});
+    }
+    // Occasionally include an astral-plane range to exercise full Unicode.
+    if (R.chance(1, 4)) {
+      uint32_t Lo = 0x10000 + static_cast<uint32_t>(R.below(0x1000));
+      Rs.push_back({Lo, Lo + static_cast<uint32_t>(R.below(0x100))});
+    }
+    return CharSet::fromRanges(std::move(Rs));
+  }
+};
+
+TEST_P(CharSetPropertyTest, BooleanAlgebraAxioms) {
+  Rng R(GetParam());
+  CharSet A = randomSet(R), B = randomSet(R), C = randomSet(R);
+
+  // De Morgan.
+  EXPECT_EQ(A.unionWith(B).complement(),
+            A.complement().intersectWith(B.complement()));
+  EXPECT_EQ(A.intersectWith(B).complement(),
+            A.complement().unionWith(B.complement()));
+  // Involution, distributivity, absorption.
+  EXPECT_EQ(A.complement().complement(), A);
+  EXPECT_EQ(A.intersectWith(B.unionWith(C)),
+            A.intersectWith(B).unionWith(A.intersectWith(C)));
+  EXPECT_EQ(A.unionWith(A.intersectWith(B)), A);
+  // Commutativity.
+  EXPECT_EQ(A.unionWith(B), B.unionWith(A));
+  EXPECT_EQ(A.intersectWith(B), B.intersectWith(A));
+}
+
+TEST_P(CharSetPropertyTest, MembershipAgreesWithOps) {
+  Rng R(GetParam());
+  CharSet A = randomSet(R), B = randomSet(R);
+  for (int I = 0; I != 200; ++I) {
+    uint32_t Cp = static_cast<uint32_t>(R.below(1500));
+    EXPECT_EQ(A.unionWith(B).contains(Cp), A.contains(Cp) || B.contains(Cp));
+    EXPECT_EQ(A.intersectWith(B).contains(Cp),
+              A.contains(Cp) && B.contains(Cp));
+    EXPECT_EQ(A.complement().contains(Cp), !A.contains(Cp));
+  }
+}
+
+TEST_P(CharSetPropertyTest, MintermsPartitionDomain) {
+  Rng R(GetParam());
+  std::vector<CharSet> Sets = {randomSet(R), randomSet(R), randomSet(R)};
+  std::vector<CharSet> Mt = computeMinterms(Sets);
+  ASSERT_FALSE(Mt.empty());
+  CharSet All;
+  for (size_t I = 0; I != Mt.size(); ++I) {
+    EXPECT_FALSE(Mt[I].isEmpty());
+    for (size_t J = I + 1; J != Mt.size(); ++J)
+      EXPECT_TRUE(Mt[I].isDisjointFrom(Mt[J]));
+    All = All.unionWith(Mt[I]);
+    // Refinement: each minterm is inside or outside every input set.
+    for (const CharSet &S : Sets)
+      EXPECT_TRUE(Mt[I].isSubsetOf(S) || Mt[I].isDisjointFrom(S));
+  }
+  EXPECT_TRUE(All.isFull());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CharSetPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+} // namespace

@@ -1,0 +1,73 @@
+//===- tests/CorpusTest.cpp - End-to-end corpus round trip --------------------===//
+///
+/// \file
+/// Golden end-to-end integration: every instance of the (downscaled)
+/// benchmark corpus is rendered to an SMT-LIB script (smt/SmtPrinter),
+/// re-read and solved through the SMT front end (smt/SmtSolver), and the
+/// verdict is compared with the instance's ground-truth label and with the
+/// solver's direct answer. This chains regex parser → printer → s-expr
+/// reader → theory compiler → implicant enumeration → derivative solver,
+/// exactly the path an external user of the exported corpus exercises.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "re/RegexParser.h"
+#include "smt/SmtPrinter.h"
+#include "smt/SmtSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+class CorpusTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+  RegexSolver Solver{E};
+  SmtSolver Smt{Solver};
+
+  void roundTrip(const BenchSuite &Suite) {
+    SolveOptions Opts;
+    Opts.MaxStates = 300000;
+    Opts.Strategy = SearchStrategy::Dfs;
+    for (const BenchInstance &Inst : Suite.Instances) {
+      RegexParseResult Parsed = parseRegex(M, Inst.Pattern);
+      ASSERT_TRUE(Parsed.Ok) << Inst.Name;
+      std::string Script =
+          regexToSmtScript(M, Parsed.Value, Inst.ExpectedSat);
+      SmtResult Via = Smt.solveScript(Script, Opts);
+      ASSERT_NE(Via.Status, SolveStatus::Unsupported)
+          << Inst.Name << "\n" << Script << "\nnote: " << Via.Note;
+      if (Via.Status == SolveStatus::Unknown)
+        continue; // budget; direct solving may also time out
+      if (Inst.ExpectedSat.has_value()) {
+        EXPECT_EQ(Via.Status == SolveStatus::Sat, *Inst.ExpectedSat)
+            << Inst.Name << "\n" << Script;
+      } else {
+        SolveResult Direct = Solver.checkSat(Parsed.Value, Opts);
+        if (Direct.Status != SolveStatus::Unknown) {
+          EXPECT_EQ(Via.Status, Direct.Status) << Inst.Name;
+        }
+      }
+    }
+  }
+};
+
+TEST_F(CorpusTest, HandwrittenSuitesRoundTrip) {
+  for (const BenchSuite &Suite : handwrittenSuites())
+    roundTrip(Suite);
+}
+
+TEST_F(CorpusTest, GeneratedSuitesRoundTrip) {
+  for (const BenchSuite &Suite : nonBooleanSuites(0.01, 99))
+    roundTrip(Suite);
+  for (const BenchSuite &Suite : booleanSuites(0.05, 99))
+    roundTrip(Suite);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- tests/DerivativeGraphTest.cpp - Graph + SCC dead/alive tests ----------===//
+
+#include "solver/DerivativeGraph.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+/// Produces distinct regex handles to use as abstract vertices. Loops with
+/// distinct bounds over a fixed body are guaranteed distinct and non-final;
+/// `final` handles are nullable variants.
+class VertexFactory {
+public:
+  explicit VertexFactory(RegexManager &M) : M(M), Body(M.chr('v')) {}
+
+  /// A non-final vertex handle.
+  Re plain(uint32_t I) { return M.loop(Body, I + 2, I + 2); }
+  /// A final (nullable) vertex handle.
+  Re final(uint32_t I) { return M.loop(Body, 0, I + 2); }
+
+private:
+  RegexManager &M;
+  Re Body;
+};
+
+class GraphTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  VertexFactory F{M};
+};
+
+TEST_F(GraphTest, OpenVerticesAreNeverDead) {
+  DerivativeGraph G(M);
+  Re A = F.plain(0);
+  G.addVertex(A);
+  EXPECT_FALSE(G.isDead(A));
+  EXPECT_FALSE(G.isClosed(A));
+}
+
+TEST_F(GraphTest, FinalVerticesAreAlive) {
+  DerivativeGraph G(M);
+  Re A = F.final(0);
+  G.addVertex(A);
+  EXPECT_TRUE(G.isAlive(A));
+  EXPECT_TRUE(G.isFinal(A));
+  G.close(A, {});
+  EXPECT_FALSE(G.isDead(A));
+}
+
+TEST_F(GraphTest, ClosedSinkIsDead) {
+  DerivativeGraph G(M);
+  Re A = F.plain(0);
+  G.close(A, {}); // no successors, not final
+  EXPECT_TRUE(G.isDead(A));
+}
+
+TEST_F(GraphTest, DeadPropagatesBackwards) {
+  DerivativeGraph G(M);
+  Re A = F.plain(0), B = F.plain(1), C = F.plain(2);
+  G.close(A, {B});
+  EXPECT_FALSE(G.isDead(A)); // B still open
+  G.close(B, {C});
+  EXPECT_FALSE(G.isDead(A));
+  G.close(C, {});
+  EXPECT_TRUE(G.isDead(C));
+  EXPECT_TRUE(G.isDead(B));
+  EXPECT_TRUE(G.isDead(A));
+}
+
+TEST_F(GraphTest, AliveBlocksDeath) {
+  DerivativeGraph G(M);
+  Re A = F.plain(0), B = F.final(1);
+  G.close(A, {B});
+  G.close(B, {});
+  EXPECT_TRUE(G.isAlive(A));
+  EXPECT_FALSE(G.isDead(A));
+  EXPECT_FALSE(G.isDead(B));
+}
+
+TEST_F(GraphTest, CycleOfClosedVerticesIsDead) {
+  DerivativeGraph G(M);
+  Re A = F.plain(0), B = F.plain(1), C = F.plain(2);
+  // A → B → C → A, all closed, none final: the whole SCC is dead.
+  G.close(A, {B});
+  G.close(B, {C});
+  EXPECT_FALSE(G.isDead(A));
+  G.close(C, {A});
+  EXPECT_TRUE(G.isDead(A));
+  EXPECT_TRUE(G.isDead(B));
+  EXPECT_TRUE(G.isDead(C));
+}
+
+TEST_F(GraphTest, CycleWithEscapeToOpenIsNotDead) {
+  DerivativeGraph G(M);
+  Re A = F.plain(0), B = F.plain(1), Exit = F.plain(9);
+  G.close(A, {B});
+  G.close(B, {A, Exit});
+  EXPECT_FALSE(G.isDead(A)); // Exit is still open
+  G.close(Exit, {});
+  EXPECT_TRUE(G.isDead(Exit));
+  EXPECT_TRUE(G.isDead(A));
+  EXPECT_TRUE(G.isDead(B));
+}
+
+TEST_F(GraphTest, CycleReachingFinalIsAlive) {
+  DerivativeGraph G(M);
+  Re A = F.plain(0), B = F.plain(1), Fin = F.final(0);
+  G.close(A, {B});
+  G.close(B, {A, Fin});
+  G.close(Fin, {});
+  EXPECT_TRUE(G.isAlive(A));
+  EXPECT_TRUE(G.isAlive(B));
+  EXPECT_FALSE(G.isDead(A));
+}
+
+TEST_F(GraphTest, SelfLoopDeadEnd) {
+  DerivativeGraph G(M);
+  Re A = F.plain(0);
+  G.close(A, {A});
+  EXPECT_TRUE(G.isDead(A));
+}
+
+TEST_F(GraphTest, TwoNestedCyclesMerge) {
+  // A → B → C → A and B → D → B: everything is one component after all
+  // edges; dead once all closed.
+  DerivativeGraph G(M);
+  Re A = F.plain(0), B = F.plain(1), C = F.plain(2), D = F.plain(3);
+  G.close(A, {B});
+  G.close(B, {C, D});
+  G.close(C, {A});
+  EXPECT_FALSE(G.isDead(A)); // D open
+  G.close(D, {B});
+  EXPECT_TRUE(G.isDead(A));
+  EXPECT_TRUE(G.isDead(D));
+}
+
+TEST_F(GraphTest, UpdIsIdempotentOnClosedVertices) {
+  DerivativeGraph G(M);
+  Re A = F.plain(0), B = F.plain(1), C = F.final(2);
+  G.close(A, {B});
+  size_t Edges = G.numEdges();
+  G.close(A, {C}); // no effect: A is closed
+  EXPECT_EQ(G.numEdges(), Edges);
+  EXPECT_EQ(G.successors(A).size(), 1u);
+}
+
+/// Randomized stress: the incremental SCC mode must agree with the lazy
+/// reverse-reachability reference on every prefix of a random build
+/// sequence.
+class GraphAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphAgreementTest, IncrementalAgreesWithLazyReference) {
+  RegexManager M;
+  VertexFactory F(M);
+  Rng Rand(GetParam());
+
+  const uint32_t NumVerts = 24;
+  std::vector<Re> Handles;
+  for (uint32_t I = 0; I != NumVerts; ++I) {
+    // ~20% of vertices are final.
+    Handles.push_back(Rand.chance(1, 5) ? F.final(I) : F.plain(I));
+  }
+
+  DerivativeGraph Inc(M, DeadDetection::IncrementalScc);
+  DerivativeGraph Lazy(M, DeadDetection::LazyReverse);
+
+  // Close vertices in random order with random successor sets; after each
+  // step, all three derived predicates must agree on every vertex.
+  std::vector<uint32_t> Order(NumVerts);
+  for (uint32_t I = 0; I != NumVerts; ++I)
+    Order[I] = I;
+  for (uint32_t I = NumVerts; I > 1; --I)
+    std::swap(Order[I - 1], Order[Rand.below(I)]);
+
+  for (uint32_t Step = 0; Step != NumVerts; ++Step) {
+    uint32_t V = Order[Step];
+    std::vector<Re> Targets;
+    size_t Fanout = Rand.below(4);
+    for (size_t T = 0; T != Fanout; ++T)
+      Targets.push_back(Handles[Rand.below(NumVerts)]);
+    Inc.close(Handles[V], Targets);
+    Lazy.close(Handles[V], Targets);
+
+    for (uint32_t U = 0; U != NumVerts; ++U) {
+      if (!Inc.hasVertex(Handles[U]))
+        continue;
+      ASSERT_EQ(Lazy.hasVertex(Handles[U]), true);
+      EXPECT_EQ(Inc.isDead(Handles[U]), Lazy.isDead(Handles[U]))
+          << "dead disagreement at step " << Step << " vertex " << U
+          << " seed " << GetParam();
+      EXPECT_EQ(Inc.isAlive(Handles[U]), Lazy.isAlive(Handles[U]));
+      EXPECT_EQ(Inc.isClosed(Handles[U]), Lazy.isClosed(Handles[U]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphAgreementTest,
+                         ::testing::Range<uint64_t>(1, 61));
+
+} // namespace

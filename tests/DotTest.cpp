@@ -1,0 +1,67 @@
+//===- tests/DotTest.cpp - GraphViz rendering sanity tests --------------------===//
+
+#include "automata/Dot.h"
+
+#include "automata/Glushkov.h"
+#include "re/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+class DotTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+
+  Re re(const std::string &Pat) { return parseRegexOrDie(M, Pat); }
+
+  static size_t countOccurrences(const std::string &Hay,
+                                 const std::string &Needle) {
+    size_t Count = 0, Pos = 0;
+    while ((Pos = Hay.find(Needle, Pos)) != std::string::npos) {
+      ++Count;
+      Pos += Needle.size();
+    }
+    return Count;
+  }
+};
+
+TEST_F(DotTest, SbfaDocumentStructure) {
+  auto A = Sbfa::build(E, re("(.*[a-z].*)&(.*\\d.*)"));
+  ASSERT_TRUE(A.has_value());
+  std::string Dot = sbfaToDot(*A);
+  EXPECT_EQ(Dot.rfind("digraph sbfa {", 0), 0u);
+  EXPECT_EQ(Dot.back(), '\n');
+  EXPECT_NE(Dot.find("}"), std::string::npos);
+  // One node line per state; final states use double circles.
+  EXPECT_EQ(countOccurrences(Dot, "shape=doublecircle") +
+                countOccurrences(Dot, "shape=circle"),
+            A->numStates());
+  EXPECT_GE(countOccurrences(Dot, "shape=doublecircle"), 1u); // .*
+  // The conjunction structure shows up as a dashed junction box.
+  EXPECT_NE(Dot.find("shape=box, style=dashed"), std::string::npos);
+  // Labels are escaped: no raw '"' inside a label payload breaks quoting
+  // (every quote in the output is structural).
+  EXPECT_EQ(countOccurrences(Dot, "\\\"") % 2, 0u);
+}
+
+TEST_F(DotTest, NfaAndDfaDocuments) {
+  auto N = compileReToNfa(M, re("(a|b)*abb"));
+  ASSERT_TRUE(N.has_value());
+  std::string NfaDot = nfaToDot(*N);
+  EXPECT_EQ(NfaDot.rfind("digraph nfa {", 0), 0u);
+  EXPECT_EQ(countOccurrences(NfaDot, "shape=doublecircle"), 1u);
+  EXPECT_GE(countOccurrences(NfaDot, "->"), N->numTransitions());
+
+  auto D = Sdfa::determinize(*N, 0);
+  ASSERT_TRUE(D.has_value());
+  std::string DfaDot = dfaToDot(D->minimize());
+  EXPECT_EQ(DfaDot.rfind("digraph dfa {", 0), 0u);
+  EXPECT_NE(DfaDot.find("start -> s"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+//===- tests/LanguageLawsTest.cpp - Solver-verified language identities ------===//
+///
+/// \file
+/// End-to-end integration suite: classical language-algebra identities are
+/// checked *by the decision procedure itself* (equivalence reduces to
+/// emptiness of the symmetric difference, Section 5). Any unsoundness in
+/// derivatives, normal forms, the graph, or the constructors shows up here
+/// as a failed law.
+///
+//===----------------------------------------------------------------------===//
+
+#include "re/RegexParser.h"
+#include "solver/RegexSolver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+class LawsTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+  RegexSolver S{E};
+
+  Re re(const std::string &Pat) { return parseRegexOrDie(M, Pat); }
+
+  testing::AssertionResult equivalent(Re A, Re B) {
+    SolveOptions Opts;
+    Opts.MaxStates = 200000;
+    SolveResult R = S.checkEquivalent(A, B, Opts);
+    if (R.isUnsat())
+      return testing::AssertionSuccess();
+    return testing::AssertionFailure()
+           << M.toString(A) << " vs " << M.toString(B) << ": "
+           << statusName(R.Status);
+  }
+
+  testing::AssertionResult contains(Re A, Re B) {
+    SolveOptions Opts;
+    Opts.MaxStates = 200000;
+    SolveResult R = S.checkContains(A, B, Opts);
+    if (R.isUnsat())
+      return testing::AssertionSuccess();
+    return testing::AssertionFailure()
+           << M.toString(A) << " not within " << M.toString(B);
+  }
+};
+
+TEST_F(LawsTest, KleeneAlgebraIdentities) {
+  Re A = re("a(b|c)"), B = re("x*y"), C = re("(pq)+");
+  // Distributivity of · over |.
+  EXPECT_TRUE(equivalent(M.concat(A, M.union_(B, C)),
+                         M.union_(M.concat(A, B), M.concat(A, C))));
+  EXPECT_TRUE(equivalent(M.concat(M.union_(A, B), C),
+                         M.union_(M.concat(A, C), M.concat(B, C))));
+  // Star unrolling: R* = ε | R·R*.
+  EXPECT_TRUE(equivalent(M.star(A),
+                         M.union_(M.epsilon(), M.concat(A, M.star(A)))));
+  // (R*)* = R*, (R|S)* = (R*S*)*.
+  EXPECT_TRUE(equivalent(M.star(M.star(A)), M.star(A)));
+  EXPECT_TRUE(equivalent(M.star(M.union_(A, B)),
+                         M.star(M.concat(M.star(A), M.star(B)))));
+}
+
+TEST_F(LawsTest, BooleanAlgebraIdentities) {
+  Re A = re("a+b"), B = re("(a|b){2,4}"), C = re(".*ab.*");
+  // De Morgan at the language level.
+  EXPECT_TRUE(equivalent(M.complement(M.union_(A, B)),
+                         M.inter(M.complement(A), M.complement(B))));
+  EXPECT_TRUE(equivalent(M.complement(M.inter(A, B)),
+                         M.union_(M.complement(A), M.complement(B))));
+  // Distributivity of & over |.
+  EXPECT_TRUE(equivalent(M.inter(A, M.union_(B, C)),
+                         M.union_(M.inter(A, B), M.inter(A, C))));
+  // Double complement and difference laws.
+  EXPECT_TRUE(equivalent(M.complement(M.complement(C)), C));
+  EXPECT_TRUE(equivalent(M.diff(A, B), M.diff(A, M.inter(A, B))));
+}
+
+TEST_F(LawsTest, LoopIdentities) {
+  Re A = re("ab?");
+  // Splitting: a{m+n} = a{m}·a{n}; range splitting.
+  EXPECT_TRUE(equivalent(M.loop(A, 5, 5),
+                         M.concat(M.loop(A, 2, 2), M.loop(A, 3, 3))));
+  EXPECT_TRUE(equivalent(M.loop(A, 2, 5),
+                         M.concat(M.loop(A, 2, 2), M.loop(A, 0, 3))));
+  // R{0,n} = ε | R·R{0,n-1}.
+  EXPECT_TRUE(equivalent(
+      M.loop(A, 0, 4),
+      M.union_(M.epsilon(), M.concat(A, M.loop(A, 0, 3)))));
+  // R+ = R·R*.
+  EXPECT_TRUE(equivalent(M.plus(A), M.concat(A, M.star(A))));
+}
+
+TEST_F(LawsTest, ContainmentLattice) {
+  Re A = re("(ab)+"), B = re("(ab)*"), C = re("(a|b)*");
+  EXPECT_TRUE(contains(A, B));
+  EXPECT_TRUE(contains(B, C));
+  EXPECT_TRUE(contains(M.inter(A, C), A));
+  EXPECT_TRUE(contains(A, M.union_(A, B)));
+  // Strictness: B ⊄ A (ε distinguishes them).
+  SolveResult R = S.checkContains(B, A);
+  ASSERT_TRUE(R.isSat());
+  EXPECT_TRUE(R.Witness.empty()); // the shortest counterexample is ε
+}
+
+TEST_F(LawsTest, QuotientLaw) {
+  // L(δ-step) semantics at the language level: for any R and character a,
+  // a·(a⁻¹L ∩ Σ*) ⊆ L when restricted to words starting with a.
+  const char *Patterns[] = {"(ab|ba)*", "~(.*aa.*)", ".*\\d.*&~(.*01.*)"};
+  for (const char *P : Patterns) {
+    Re R = re(P);
+    for (uint32_t Ch : {uint32_t('a'), uint32_t('0')}) {
+      Re D = E.brzozowski(R, Ch);
+      // a·D_a(R) ⊆ R.
+      EXPECT_TRUE(contains(M.concat(M.chr(Ch), D), R)) << P;
+      // And conversely R ∩ a·Σ* ⊆ a·D_a(R).
+      Re StartsWith = M.concat(M.chr(Ch), M.top());
+      EXPECT_TRUE(
+          contains(M.inter(R, StartsWith), M.concat(M.chr(Ch), D)))
+          << P;
+    }
+  }
+}
+
+/// Randomized law checking over generated terms.
+class RandomLawsTest : public ::testing::TestWithParam<uint64_t> {};
+
+Re randomRegex(RegexManager &M, Rng &R, int Depth) {
+  if (Depth <= 0) {
+    switch (R.below(4)) {
+    case 0:
+      return M.chr(static_cast<uint32_t>('a' + R.below(2)));
+    case 1:
+      return M.pred(CharSet::digit());
+    case 2:
+      return M.epsilon();
+    default:
+      return M.anyChar();
+    }
+  }
+  switch (R.below(7)) {
+  case 0:
+    return M.concat(randomRegex(M, R, Depth - 1), randomRegex(M, R, Depth - 1));
+  case 1:
+    return M.union_(randomRegex(M, R, Depth - 1), randomRegex(M, R, Depth - 1));
+  case 2:
+    return M.inter(randomRegex(M, R, Depth - 1), randomRegex(M, R, Depth - 1));
+  case 3:
+    return M.star(randomRegex(M, R, Depth - 1));
+  case 4:
+    return M.complement(randomRegex(M, R, Depth - 1));
+  default:
+    return randomRegex(M, R, 0);
+  }
+}
+
+TEST_P(RandomLawsTest, LatticeAndDeMorganOnRandomTerms) {
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  RegexSolver S(E);
+  Rng Rand(GetParam());
+  SolveOptions Opts;
+  Opts.MaxStates = 50000;
+
+  for (int I = 0; I != 4; ++I) {
+    Re A = randomRegex(M, Rand, 3);
+    Re B = randomRegex(M, Rand, 3);
+    // A & B ⊆ A ⊆ A | B.
+    EXPECT_TRUE(S.checkContains(M.inter(A, B), A, Opts).isUnsat());
+    EXPECT_TRUE(S.checkContains(A, M.union_(A, B), Opts).isUnsat());
+    // De Morgan.
+    EXPECT_TRUE(S.checkEquivalent(M.complement(M.union_(A, B)),
+                                  M.inter(M.complement(A), M.complement(B)),
+                                  Opts)
+                    .isUnsat());
+    // Symmetric difference with self is empty.
+    EXPECT_TRUE(S.checkEquivalent(A, A, Opts).isUnsat());
+    // A ∪ ~A is everything.
+    EXPECT_TRUE(
+        S.checkEquivalent(M.union_(A, M.complement(A)), M.top(), Opts)
+            .isUnsat());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLawsTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

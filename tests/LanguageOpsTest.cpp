@@ -1,0 +1,253 @@
+//===- tests/LanguageOpsTest.cpp - reverse / enumerate tests -----------------===//
+
+#include "core/LanguageOps.h"
+
+#include "re/RegexParser.h"
+#include "solver/RegexSolver.h"
+#include "support/Rng.h"
+#include "support/Unicode.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+class LanguageOpsTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+
+  Re re(const std::string &Pat) { return parseRegexOrDie(M, Pat); }
+};
+
+TEST_F(LanguageOpsTest, ReverseStructure) {
+  EXPECT_EQ(reverseRegex(M, re("abc")), re("cba"));
+  EXPECT_EQ(reverseRegex(M, re("a*")), re("a*"));
+  EXPECT_EQ(reverseRegex(M, re("ab|cd")), re("ba|dc"));
+  EXPECT_EQ(reverseRegex(M, re("(ab)*")), re("(ba)*"));
+  EXPECT_EQ(reverseRegex(M, re("~(ab)")), re("~(ba)"));
+  EXPECT_EQ(reverseRegex(M, re("abc.*")), re(".*cba"));
+  // Leaves are fixed points.
+  EXPECT_EQ(reverseRegex(M, M.empty()), M.empty());
+  EXPECT_EQ(reverseRegex(M, M.epsilon()), M.epsilon());
+  EXPECT_EQ(reverseRegex(M, M.top()), M.top());
+}
+
+TEST_F(LanguageOpsTest, ReverseIsInvolutive) {
+  const char *Patterns[] = {"abc",   "a*b+c?",    "(ab|cd){2,5}",
+                            "~(ab)", "a&(b|ab)",  ".*\\d.*&~(.*01.*)"};
+  for (const char *P : Patterns) {
+    Re R = re(P);
+    EXPECT_EQ(reverseRegex(M, reverseRegex(M, R)), R) << P;
+  }
+}
+
+TEST_F(LanguageOpsTest, ReverseLanguageSemantics) {
+  Rng Rand(5);
+  const char *Patterns[] = {"ab*c",  "(ab|b)*",  "~(.*ab.*)",
+                            "a.{2}", "(a|b)&~(a)", "x(yz){1,3}"};
+  static const uint32_t Alphabet[] = {'a', 'b', 'c', 'x', 'y', 'z'};
+  for (const char *P : Patterns) {
+    Re R = re(P);
+    Re Rev = reverseRegex(M, R);
+    for (int I = 0; I != 60; ++I) {
+      std::vector<uint32_t> W;
+      size_t Len = Rand.below(6);
+      for (size_t J = 0; J != Len; ++J)
+        W.push_back(Alphabet[Rand.below(std::size(Alphabet))]);
+      std::vector<uint32_t> WRev(W.rbegin(), W.rend());
+      EXPECT_EQ(E.matches(R, W), E.matches(Rev, WRev))
+          << P << " on " << escapeWord(W);
+    }
+  }
+}
+
+TEST_F(LanguageOpsTest, ReverseSuffixToPrefixSolving) {
+  // rev turns a suffix constraint into a prefix constraint with the same
+  // satisfiability.
+  RegexSolver S(E);
+  Re Suffix = re(".*xyz&.{3,5}");
+  Re Pref = reverseRegex(M, Suffix);
+  EXPECT_EQ(S.checkSat(Suffix).Status, S.checkSat(Pref).Status);
+  EXPECT_TRUE(
+      S.checkEquivalent(reverseRegex(M, Pref), Suffix).isUnsat());
+}
+
+TEST_F(LanguageOpsTest, EnumerateFiniteLanguageExactly) {
+  // L(a|bc|dd) = {a, bc, dd}.
+  auto Words = enumerateLanguage(E, re("a|bc|dd"), 10);
+  ASSERT_EQ(Words.size(), 3u);
+  EXPECT_EQ(Words[0], fromUtf8("a")); // shortest first
+  std::vector<std::string> Rendered;
+  for (const auto &W : Words)
+    Rendered.push_back(toUtf8(W));
+  std::sort(Rendered.begin(), Rendered.end());
+  EXPECT_EQ(Rendered, (std::vector<std::string>{"a", "bc", "dd"}));
+}
+
+TEST_F(LanguageOpsTest, EnumerateRespectsBound) {
+  auto Words = enumerateLanguage(E, re("a*"), 5);
+  ASSERT_EQ(Words.size(), 5u);
+  for (size_t I = 0; I != Words.size(); ++I) {
+    EXPECT_EQ(Words[I].size(), I); // ε, a, aa, aaa, aaaa
+    for (uint32_t C : Words[I])
+      EXPECT_EQ(C, uint32_t('a'));
+  }
+}
+
+TEST_F(LanguageOpsTest, EnumerateEmptyLanguage) {
+  EXPECT_TRUE(enumerateLanguage(E, M.empty(), 5).empty());
+  EXPECT_TRUE(enumerateLanguage(E, re("a&b"), 5).empty());
+}
+
+TEST_F(LanguageOpsTest, FindFirstMatchBasics) {
+  auto find = [&](const char *Pat, const char *Text) {
+    return findFirstMatch(E, re(Pat), fromUtf8(Text));
+  };
+  using Span = std::pair<size_t, size_t>;
+  EXPECT_EQ(find("ab", "xxabyy"), std::make_optional(Span{2, 4}));
+  EXPECT_EQ(find("ab", "ab"), std::make_optional(Span{0, 2}));
+  EXPECT_EQ(find("ab", "xxx"), std::nullopt);
+  EXPECT_EQ(find("\\d+", "ab12cd"), std::make_optional(Span{2, 3}));
+  // Earliest end, then leftmost start: "aa" in "caab" ends first at 3;
+  // starts ending there: only 1.
+  EXPECT_EQ(find("aa", "caab"), std::make_optional(Span{1, 3}));
+  // Nullable patterns match the empty span at position 0.
+  EXPECT_EQ(find("a*", "bbb"), std::make_optional(Span{0, 0}));
+  EXPECT_EQ(find("()", ""), std::make_optional(Span{0, 0}));
+  // Empty language never matches.
+  EXPECT_EQ(findFirstMatch(E, M.empty(), fromUtf8("abc")), std::nullopt);
+}
+
+TEST_F(LanguageOpsTest, FindFirstMatchLeftmostAmongSameEnd) {
+  // Both "ba" and "aba" end at position 3 in "xaba"; leftmost start wins.
+  auto Span = findFirstMatch(E, re("ba|aba"), fromUtf8("xaba"));
+  ASSERT_TRUE(Span.has_value());
+  EXPECT_EQ(Span->first, 1u);
+  EXPECT_EQ(Span->second, 4u);
+}
+
+TEST_F(LanguageOpsTest, FindFirstMatchExtendedOperators) {
+  // First span that contains a digit but not "01".
+  Re R = M.inter(re("\\d{2}"), re("~(01)"));
+  auto Span = findFirstMatch(E, R, fromUtf8("x01234"));
+  ASSERT_TRUE(Span.has_value());
+  // Two-digit spans: "01"@1 (excluded), "12"@2 ends at 4; earliest end
+  // among allowed spans is 4 with start 2.
+  EXPECT_EQ(*Span, (std::pair<size_t, size_t>{2, 4}));
+}
+
+TEST_F(LanguageOpsTest, FindFirstMatchAgreesWithBruteForce) {
+  Rng Rand(31);
+  const char *Patterns[] = {"ab", "a+b", "(ab|ba)", "\\d[a-f]", "a.{2}"};
+  static const uint32_t Alphabet[] = {'a', 'b', 'c', '1', 'f'};
+  for (const char *P : Patterns) {
+    Re R = re(P);
+    for (int I = 0; I != 40; ++I) {
+      std::vector<uint32_t> W;
+      size_t Len = Rand.below(9);
+      for (size_t J = 0; J != Len; ++J)
+        W.push_back(Alphabet[Rand.below(std::size(Alphabet))]);
+      // Brute force: smallest end, then smallest start.
+      std::optional<std::pair<size_t, size_t>> Expected;
+      for (size_t End = 0; End <= W.size() && !Expected; ++End)
+        for (size_t Start = 0; Start <= End; ++Start) {
+          std::vector<uint32_t> Slice(W.begin() + Start, W.begin() + End);
+          if (E.matches(R, Slice)) {
+            Expected = {Start, End};
+            break;
+          }
+        }
+      EXPECT_EQ(findFirstMatch(E, R, W), Expected)
+          << P << " on " << escapeWord(W);
+    }
+  }
+}
+
+TEST_F(LanguageOpsTest, CountWordsBasics) {
+  // |L((a|b){3}) ∩ Σ³| = 8.
+  EXPECT_EQ(countWordsOfLength(E, re("(a|b){3}"), 3), 8u);
+  EXPECT_EQ(countWordsOfLength(E, re("(a|b){3}"), 2), 0u);
+  // a* has exactly one word of each length.
+  for (size_t N : {0u, 1u, 5u, 20u})
+    EXPECT_EQ(countWordsOfLength(E, re("a*"), N), 1u);
+  // ε and ⊥.
+  EXPECT_EQ(countWordsOfLength(E, M.epsilon(), 0), 1u);
+  EXPECT_EQ(countWordsOfLength(E, M.epsilon(), 1), 0u);
+  EXPECT_EQ(countWordsOfLength(E, M.empty(), 0), 0u);
+}
+
+TEST_F(LanguageOpsTest, CountWordsBooleanStructure) {
+  // Inclusion-exclusion check over {a,b}³ restricted words:
+  // |(a|b)³ ∩ .*ab.*| — words over {a,b} of length 3 containing "ab":
+  // aba, abb, aab, bab = 4... enumerate to be sure.
+  Re R = M.inter(re("(a|b){3}"), re(".*ab.*"));
+  auto N = countWordsOfLength(E, R, 3);
+  ASSERT_TRUE(N.has_value());
+  auto Words = enumerateLanguage(E, R, 100);
+  EXPECT_EQ(*N, Words.size());
+  // Complement inside a finite window: |(a|b)³ & ~(.*ab.*)| = 8 − N.
+  Re C = M.inter(re("(a|b){3}"), re("~(.*ab.*)"));
+  EXPECT_EQ(countWordsOfLength(E, C, 3), 8u - *N);
+}
+
+TEST_F(LanguageOpsTest, CountWordsUnicodeSaturates) {
+  // |Σ| = 0x110000, so |Σ²| overflows nothing but |Σ⁴| exceeds 2^64.
+  auto One = countWordsOfLength(E, re("."), 1);
+  EXPECT_EQ(One, uint64_t(MaxCodePoint) + 1);
+  auto Two = countWordsOfLength(E, re(".*"), 2);
+  EXPECT_EQ(Two, (uint64_t(MaxCodePoint) + 1) * (uint64_t(MaxCodePoint) + 1));
+  auto Four = countWordsOfLength(E, re(".*"), 4);
+  EXPECT_EQ(Four, UINT64_MAX); // saturated
+}
+
+TEST_F(LanguageOpsTest, CountWordsAgreesWithEnumeration) {
+  const char *Patterns[] = {"(ab|ba)*", "a?b?c?", "(a|b)*c",
+                            "\\d{2}", "~(.*aa.*)&(a|b){4}"};
+  for (const char *P : Patterns) {
+    Re R = re(P);
+    for (size_t Len = 0; Len <= 4; ++Len) {
+      auto N = countWordsOfLength(E, R, Len);
+      ASSERT_TRUE(N.has_value()) << P;
+      // Cross-check against exhaustive enumeration when small.
+      if (*N <= 64) {
+        auto Words = enumerateLanguage(E, R, 500, 500000);
+        size_t Matching = 0;
+        for (const auto &W : Words)
+          if (W.size() == Len)
+            ++Matching;
+        EXPECT_EQ(*N, Matching) << P << " length " << Len;
+      }
+    }
+  }
+}
+
+TEST_F(LanguageOpsTest, CountWordsStateBudget) {
+  EXPECT_FALSE(
+      countWordsOfLength(E, re("(.*a.{10})&(.*b.{10})"), 3, 5).has_value());
+}
+
+TEST_F(LanguageOpsTest, EnumeratedWordsAllMatch) {
+  const char *Patterns[] = {"(a|b)*c", ".*\\d.*&~(.*01.*)", "\\w{2,3}",
+                            "~(a*)&(a|b)*"};
+  for (const char *P : Patterns) {
+    Re R = re(P);
+    auto Words = enumerateLanguage(E, R, 12);
+    EXPECT_FALSE(Words.empty()) << P;
+    size_t PrevLen = 0;
+    for (const auto &W : Words) {
+      EXPECT_TRUE(E.matches(R, W)) << P << " emitted " << escapeWord(W);
+      EXPECT_GE(W.size(), PrevLen) << "length-ordered";
+      PrevLen = W.size();
+    }
+    // Distinctness.
+    auto Copy = Words;
+    std::sort(Copy.begin(), Copy.end());
+    EXPECT_EQ(std::unique(Copy.begin(), Copy.end()), Copy.end()) << P;
+  }
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/SbfaTest.cpp - SBFA / SAFA tests (Section 7, 8.3) --------------===//
+
+#include "automata/Safa.h"
+#include "automata/Sbfa.h"
+
+#include "re/RegexParser.h"
+#include "support/Rng.h"
+#include "support/Unicode.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+class SbfaTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+
+  Re re(const std::string &Pat) { return parseRegexOrDie(M, Pat); }
+
+  Sbfa build(const std::string &Pat) {
+    auto A = Sbfa::build(E, re(Pat));
+    EXPECT_TRUE(A.has_value());
+    return std::move(*A);
+  }
+};
+
+TEST_F(SbfaTest, TrivialAutomata) {
+  Sbfa Bot = build("[]");
+  EXPECT_FALSE(Bot.accepts({}));
+  EXPECT_FALSE(Bot.accepts({'a'}));
+
+  Sbfa Top = build(".*");
+  EXPECT_TRUE(Top.accepts({}));
+  EXPECT_TRUE(Top.accepts({'a', 'b'}));
+
+  Sbfa Eps = build("()");
+  EXPECT_TRUE(Eps.accepts({}));
+  EXPECT_FALSE(Eps.accepts({'a'}));
+}
+
+TEST_F(SbfaTest, Example74StateSpace) {
+  // Fig. 5 / Example 7.4: r = rl & rd has states {⊥, .*, r, rl, rd}.
+  Sbfa A = build("(.*[a-z].*)&(.*\\d.*)");
+  EXPECT_EQ(A.numStates(), 5u);
+  EXPECT_TRUE(A.stateOf(re(".*[a-z].*")).has_value());
+  EXPECT_TRUE(A.stateOf(re(".*\\d.*")).has_value());
+  // The bottom state is not final; .* is.
+  EXPECT_FALSE(A.isFinal(A.bottomState()));
+  EXPECT_TRUE(A.isFinal(A.topState()));
+}
+
+TEST_F(SbfaTest, StatesAreAtomic) {
+  // Section 7 granularity: no state except possibly ι is a Boolean node.
+  Sbfa A = build("((ab)|~(cd*))&(.*\\d.*)");
+  for (uint32_t Q = 0; Q != A.numStates(); ++Q) {
+    if (Q == A.initialState())
+      continue;
+    RegexKind K = M.kind(A.states()[Q]);
+    EXPECT_NE(K, RegexKind::Inter);
+    EXPECT_NE(K, RegexKind::Compl);
+    EXPECT_NE(K, RegexKind::Union);
+  }
+}
+
+TEST_F(SbfaTest, Theorem72AcceptanceAgreesWithMatcher) {
+  const char *Patterns[] = {
+      "ab",          "a*b",         "(a|b)*abb",        ".*\\d.*",
+      "~(.*01.*)",   "(.*a.*)&(.*b.*)", "~(ab)",        "a{2,4}",
+      "(.*\\d.*)&~(.*01.*)", "((ab)*)&((a|b){0,6})",
+  };
+  const char *Words[] = {"",   "a",   "b",    "ab",  "ba",  "abb",
+                         "01", "0a1", "aabb", "a0b", "abab", "aaaa"};
+  for (const char *P : Patterns) {
+    Re R = re(P);
+    Sbfa A = build(P);
+    for (const char *W : Words) {
+      std::vector<uint32_t> Word = fromUtf8(W);
+      EXPECT_EQ(A.accepts(Word), E.matches(R, Word))
+          << "SBFA disagrees with matcher on " << P << " / \"" << W << "\"";
+    }
+  }
+}
+
+TEST_F(SbfaTest, StateBudget) {
+  auto A = Sbfa::build(E, re("(.*a.{12})&(.*b.{12})"), /*MaxStates=*/5);
+  EXPECT_FALSE(A.has_value());
+}
+
+TEST_F(SbfaTest, SafaConversionPreservesLanguage) {
+  const char *Patterns[] = {
+      "ab",        "a*b",      ".*\\d.*",  "~(.*01.*)",
+      "(.*a.*)&(.*b.*)",       "~(ab)",    "(.*\\d.*)&~(.*01.*)",
+  };
+  const char *Words[] = {"",   "a",  "ab",  "01",  "0a1",
+                         "a0", "b9", "aabb", "zzz"};
+  for (const char *P : Patterns) {
+    Sbfa A = build(P);
+    Safa S = Safa::fromSbfa(A);
+    EXPECT_EQ(S.numStates(), 2 * A.numStates()); // negated shadows
+    for (const char *W : Words) {
+      std::vector<uint32_t> Word = fromUtf8(W);
+      EXPECT_EQ(S.accepts(Word), A.accepts(Word))
+          << "SAFA disagrees with SBFA on " << P << " / \"" << W << "\"";
+    }
+  }
+}
+
+TEST_F(SbfaTest, SafaTargetsArePositive) {
+  Sbfa A = build("~(.*01.*)&(.*\\d.*)");
+  Safa S = Safa::fromSbfa(A);
+  for (const Safa::Transition &Tr : S.transitions())
+    EXPECT_TRUE(S.exprManager().isPositive(Tr.Target));
+  EXPECT_TRUE(S.exprManager().isPositive(S.initial()));
+}
+
+/// Theorem 7.3 property: |Q| ≤ ♯(R)+3 for clean, normalized, loop-free
+/// B(RE), on random instances.
+class Theorem73Test : public ::testing::TestWithParam<uint64_t> {};
+
+Re randomPlainRe(RegexManager &M, Rng &R, int Depth) {
+  if (Depth <= 0) {
+    switch (R.below(4)) {
+    case 0:
+      return M.chr(static_cast<uint32_t>('a' + R.below(3)));
+    case 1:
+      return M.pred(CharSet::digit());
+    case 2:
+      return M.pred(CharSet::range('a', 'm'));
+    default:
+      return M.anyChar();
+    }
+  }
+  switch (R.below(6)) {
+  case 0:
+  case 1:
+    return M.concat(randomPlainRe(M, R, Depth - 1),
+                    randomPlainRe(M, R, Depth - 1));
+  case 2:
+    return M.union_(randomPlainRe(M, R, Depth - 1),
+                    randomPlainRe(M, R, Depth - 1));
+  case 3:
+    return M.star(randomPlainRe(M, R, Depth - 1));
+  default:
+    return randomPlainRe(M, R, 0);
+  }
+}
+
+Re randomBre(RegexManager &M, Rng &R, int BoolDepth, int ReDepth) {
+  if (BoolDepth <= 0)
+    return randomPlainRe(M, R, ReDepth);
+  switch (R.below(4)) {
+  case 0:
+    return M.union_(randomBre(M, R, BoolDepth - 1, ReDepth),
+                    randomBre(M, R, BoolDepth - 1, ReDepth));
+  case 1:
+    return M.inter(randomBre(M, R, BoolDepth - 1, ReDepth),
+                   randomBre(M, R, BoolDepth - 1, ReDepth));
+  case 2:
+    return M.complement(randomBre(M, R, BoolDepth - 1, ReDepth));
+  default:
+    return randomPlainRe(M, R, ReDepth);
+  }
+}
+
+TEST_P(Theorem73Test, LinearStateBound) {
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  Rng Rand(GetParam());
+  for (int I = 0; I != 10; ++I) {
+    Re R = randomBre(M, Rand, 2, 3);
+    if (!M.isClean(R) || !M.isBooleanOverRe(R))
+      continue; // constructors may have collapsed to ⊥ or escaped B(RE)
+    ASSERT_TRUE(M.isNormalized(R));
+    ASSERT_TRUE(M.isLoopFree(R));
+    auto A = Sbfa::build(E, R);
+    ASSERT_TRUE(A.has_value());
+    EXPECT_LE(A->numStates(), static_cast<size_t>(M.node(R).NumPreds) + 3)
+        << "Theorem 7.3 bound violated for " << M.toString(R);
+  }
+}
+
+TEST_P(Theorem73Test, AcceptanceOnRandomBre) {
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  Rng Rand(GetParam());
+  static const uint32_t Alphabet[] = {'a', 'b', 'c', '3', 'q'};
+  for (int I = 0; I != 5; ++I) {
+    Re R = randomBre(M, Rand, 2, 2);
+    auto A = Sbfa::build(E, R, /*MaxStates=*/2000);
+    if (!A)
+      continue;
+    for (int W = 0; W != 15; ++W) {
+      std::vector<uint32_t> Word;
+      size_t Len = Rand.below(5);
+      for (size_t J = 0; J != Len; ++J)
+        Word.push_back(Alphabet[Rand.below(std::size(Alphabet))]);
+      EXPECT_EQ(A->accepts(Word), E.matches(R, Word))
+          << "SBFA run disagrees with matcher on " << M.toString(R);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem73Test,
+                         ::testing::Range<uint64_t>(1, 31));
+
+} // namespace

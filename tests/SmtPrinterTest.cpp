@@ -1,0 +1,172 @@
+//===- tests/SmtPrinterTest.cpp - Regex → SMT-LIB round-trip tests -----------===//
+
+#include "smt/SmtPrinter.h"
+
+#include "core/Derivatives.h"
+#include "re/RegexParser.h"
+#include "smt/SmtSolver.h"
+#include "support/Rng.h"
+#include "support/Unicode.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+class PrinterTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+  RegexSolver Solver{E};
+  SmtSolver Smt{Solver};
+
+  Re re(const std::string &Pat) { return parseRegexOrDie(M, Pat); }
+};
+
+TEST_F(PrinterTest, StringLiteralEscaping) {
+  EXPECT_EQ(smtStringLiteral(fromUtf8("abc")), "\"abc\"");
+  EXPECT_EQ(smtStringLiteral(fromUtf8("a\"b")), "\"a\"\"b\"");
+  EXPECT_EQ(smtStringLiteral({0x0A}), "\"\\u{A}\"");
+  EXPECT_EQ(smtStringLiteral({0x1F600}), "\"\\u{1F600}\"");
+  EXPECT_EQ(smtStringLiteral({'\\'}), "\"\\u{5C}\"");
+}
+
+TEST_F(PrinterTest, StringLiteralDecoding) {
+  EXPECT_EQ(decodeSmtString("abc"), fromUtf8("abc"));
+  EXPECT_EQ(decodeSmtString("a\\u{41}b"), fromUtf8("aAb"));
+  EXPECT_EQ(decodeSmtString("\\u0041"), fromUtf8("A"));
+  EXPECT_EQ(decodeSmtString("\\u{1F600}"), std::vector<uint32_t>{0x1F600});
+  // Malformed escapes stay literal.
+  EXPECT_EQ(decodeSmtString("\\u{"), fromUtf8("\\u{"));
+  EXPECT_EQ(decodeSmtString("\\uZZ"), fromUtf8("\\uZZ"));
+}
+
+TEST_F(PrinterTest, EncodeDecodeRoundTrip) {
+  Rng Rand(3);
+  for (int I = 0; I != 50; ++I) {
+    std::vector<uint32_t> Word;
+    size_t Len = Rand.below(12);
+    for (size_t J = 0; J != Len; ++J)
+      Word.push_back(static_cast<uint32_t>(Rand.below(MaxCodePoint + 1)));
+    std::string Lit = smtStringLiteral(Word);
+    // Strip quotes and collapse doubled quotes (what the reader does).
+    std::string Contents;
+    for (size_t J = 1; J + 1 < Lit.size(); ++J) {
+      Contents.push_back(Lit[J]);
+      if (Lit[J] == '"')
+        ++J; // skip the doubling
+    }
+    EXPECT_EQ(decodeSmtString(Contents), Word);
+  }
+}
+
+TEST_F(PrinterTest, TermForms) {
+  EXPECT_EQ(regexToSmtTerm(M, M.empty()), "re.none");
+  EXPECT_EQ(regexToSmtTerm(M, M.epsilon()), "(str.to_re \"\")");
+  EXPECT_EQ(regexToSmtTerm(M, M.anyChar()), "re.allchar");
+  EXPECT_EQ(regexToSmtTerm(M, M.top()), "re.all");
+  EXPECT_EQ(regexToSmtTerm(M, re("abc")), "(str.to_re \"abc\")");
+  EXPECT_EQ(regexToSmtTerm(M, re("[a-f]")), "(re.range \"a\" \"f\")");
+  EXPECT_EQ(regexToSmtTerm(M, re("a*")), "(re.* (str.to_re \"a\"))");
+  EXPECT_EQ(regexToSmtTerm(M, re("a{2,5}")),
+            "((_ re.loop 2 5) (str.to_re \"a\"))");
+  EXPECT_EQ(regexToSmtTerm(M, re("a?")), "(re.opt (str.to_re \"a\"))");
+  EXPECT_EQ(regexToSmtTerm(M, re("~(ab)")),
+            "(re.comp (str.to_re \"ab\"))");
+}
+
+TEST_F(PrinterTest, ScriptRoundTripPreservesStatus) {
+  // Print a regex into a full script, re-solve it through the SMT front
+  // end, and compare with solving the regex directly.
+  const char *Patterns[] = {
+      "abc",
+      "a+&b+",
+      "(ab)+&(ba)+",
+      "~(.*01.*)&.*\\d.*",
+      "\\d{4}-[a-zA-Z]{3}-\\d{2}&(2019.*|2020.*)",
+      "(.*a.{4})&(.*b.{4})",
+      "a{2,4}&a{5,6}",
+      "[\\u4E00-\\u9FFF]{2}",
+      "~(\\w*)&.{3}",
+  };
+  for (const char *P : Patterns) {
+    Re R = re(P);
+    SolveResult Direct = Solver.checkSat(R);
+    ASSERT_NE(Direct.Status, SolveStatus::Unknown);
+    std::string Script = regexToSmtScript(
+        M, R, Direct.Status == SolveStatus::Sat);
+    SmtResult Via = Smt.solveScript(Script);
+    EXPECT_EQ(Via.Status, Direct.Status) << P << "\n" << Script;
+    ASSERT_TRUE(Via.ExpectedSat.has_value());
+    EXPECT_EQ(*Via.ExpectedSat, Direct.Status == SolveStatus::Sat);
+  }
+}
+
+/// Property: printing then reading yields the same language (same interned
+/// node, in fact, since both sides normalize identically).
+class PrinterRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+Re randomRegex(RegexManager &M, Rng &R, int Depth) {
+  if (Depth <= 0) {
+    switch (R.below(5)) {
+    case 0:
+      return M.chr(static_cast<uint32_t>('a' + R.below(26)));
+    case 1:
+      return M.pred(CharSet::digit());
+    case 2:
+      return M.pred(CharSet::range(0x100, 0x2FF));
+    case 3:
+      return M.epsilon();
+    default:
+      return M.anyChar();
+    }
+  }
+  switch (R.below(7)) {
+  case 0:
+    return M.concat(randomRegex(M, R, Depth - 1), randomRegex(M, R, Depth - 1));
+  case 1:
+    return M.union_(randomRegex(M, R, Depth - 1), randomRegex(M, R, Depth - 1));
+  case 2:
+    return M.inter(randomRegex(M, R, Depth - 1), randomRegex(M, R, Depth - 1));
+  case 3:
+    return M.star(randomRegex(M, R, Depth - 1));
+  case 4:
+    return M.complement(randomRegex(M, R, Depth - 1));
+  case 5: {
+    uint32_t Min = static_cast<uint32_t>(R.below(3));
+    return M.loop(randomRegex(M, R, Depth - 1), Min,
+                  Min + 1 + static_cast<uint32_t>(R.below(3)));
+  }
+  default:
+    return randomRegex(M, R, 0);
+  }
+}
+
+TEST_P(PrinterRoundTripTest, PrintSolveAgreesWithDirectSolve) {
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  RegexSolver Solver(E);
+  SmtSolver Smt(Solver);
+  Rng Rand(GetParam());
+  SolveOptions Opts;
+  Opts.MaxStates = 50000;
+
+  for (int I = 0; I != 5; ++I) {
+    Re R = randomRegex(M, Rand, 3);
+    SolveResult Direct = Solver.checkSat(R, Opts);
+    if (Direct.Status == SolveStatus::Unknown)
+      continue;
+    std::string Script = regexToSmtScript(M, R, std::nullopt);
+    SmtResult Via = Smt.solveScript(Script, Opts);
+    EXPECT_EQ(Via.Status, Direct.Status)
+        << M.toString(R) << "\n" << Script;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrinterRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

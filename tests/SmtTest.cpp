@@ -1,0 +1,403 @@
+//===- tests/SmtTest.cpp - SMT-LIB front end tests ---------------------------===//
+
+#include "smt/SmtSolver.h"
+
+#include "core/Derivatives.h"
+#include "re/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+class SmtTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+  RegexSolver Solver{E};
+  SmtSolver Smt{Solver};
+
+  SmtResult run(const std::string &Script) {
+    return Smt.solveScript(Script);
+  }
+
+  /// Looks up a model value.
+  std::string modelValue(const SmtResult &R, const std::string &Var) {
+    for (const auto &[V, Value] : R.Model)
+      if (V == Var)
+        return Value;
+    ADD_FAILURE() << "no model value for " << Var;
+    return "";
+  }
+};
+
+TEST(SExprTest, ReaderBasics) {
+  auto R = parseSExprs("(assert (= x \"a b\")) ; comment\n(check-sat)");
+  ASSERT_TRUE(R.Ok);
+  ASSERT_EQ(R.Forms.size(), 2u);
+  EXPECT_TRUE(R.Forms[0].Kids[0].isSymbol("assert"));
+  EXPECT_EQ(R.Forms[0].Kids[1].Kids[2].Text, "a b");
+  EXPECT_TRUE(R.Forms[1].Kids[0].isSymbol("check-sat"));
+}
+
+TEST(SExprTest, NumbersStringsKeywords) {
+  auto R = parseSExprs("(foo -42 17 :status |quoted sym| \"q\"\"q\")");
+  ASSERT_TRUE(R.Ok);
+  const SExpr &F = R.Forms[0];
+  EXPECT_EQ(F.Kids[1].Number, -42);
+  EXPECT_EQ(F.Kids[2].Number, 17);
+  EXPECT_TRUE(F.Kids[3].isSymbol(":status"));
+  EXPECT_EQ(F.Kids[4].Text, "quoted sym");
+  EXPECT_EQ(F.Kids[5].Text, "q\"q"); // doubled-quote escape
+}
+
+TEST(SExprTest, Errors) {
+  EXPECT_FALSE(parseSExprs("(unclosed").Ok);
+  EXPECT_FALSE(parseSExprs("\"unterminated").Ok);
+  EXPECT_FALSE(parseSExprs(")").Ok);
+}
+
+TEST_F(SmtTest, SimpleMembershipSat) {
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (re.++ (str.to_re "ab") (re.* (re.range "c" "d")))))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  std::string V = modelValue(R, "s");
+  Re Pattern = parseRegexOrDie(M, "ab[c-d]*");
+  EXPECT_TRUE(E.matches(Pattern, V));
+}
+
+TEST_F(SmtTest, ConjunctionBecomesIntersection) {
+  // in(s, .*a.*) ∧ in(s, .*b.*) ∧ ¬in(s, .*c.*)
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (re.++ re.all (str.to_re "a") re.all)))
+    (assert (str.in_re s (re.++ re.all (str.to_re "b") re.all)))
+    (assert (not (str.in_re s (re.++ re.all (str.to_re "c") re.all))))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  std::string V = modelValue(R, "s");
+  EXPECT_NE(V.find('a'), std::string::npos);
+  EXPECT_NE(V.find('b'), std::string::npos);
+  EXPECT_EQ(V.find('c'), std::string::npos);
+}
+
+TEST_F(SmtTest, UnsatConjunction) {
+  SmtResult R = run(R"(
+    (set-info :status unsat)
+    (declare-const s String)
+    (assert (str.in_re s (re.+ (str.to_re "a"))))
+    (assert (str.in_re s (re.+ (str.to_re "b"))))
+    (check-sat))");
+  EXPECT_EQ(R.Status, SolveStatus::Unsat);
+  ASSERT_TRUE(R.ExpectedSat.has_value());
+  EXPECT_FALSE(*R.ExpectedSat);
+}
+
+TEST_F(SmtTest, DisjunctionEnumeratesImplicants) {
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (or (str.in_re s (str.to_re "no"))
+                (str.in_re s (str.to_re "yes"))))
+    (assert (not (str.in_re s (str.to_re "no"))))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(R, "s"), "yes");
+}
+
+TEST_F(SmtTest, ImplicationAndEquality) {
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (=> (str.in_re s (re.* (re.range "a" "z"))) (= s "ok")))
+    (assert (str.in_re s (re.+ (re.range "a" "z"))))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(R, "s"), "ok");
+}
+
+TEST_F(SmtTest, LengthConstraintsCompileToLoops) {
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (re.* (str.to_re "ab"))))
+    (assert (>= (str.len s) 3))
+    (assert (<= (str.len s) 5))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(R, "s"), "abab");
+
+  SmtResult U = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (re.* (str.to_re "ab"))))
+    (assert (= (str.len s) 3))
+    (check-sat))");
+  EXPECT_EQ(U.Status, SolveStatus::Unsat);
+}
+
+TEST_F(SmtTest, ReversedLengthComparison) {
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (< 2 (str.len s)))
+    (assert (str.in_re s (re.* (str.to_re "x"))))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  EXPECT_GE(modelValue(R, "s").size(), 3u);
+}
+
+TEST_F(SmtTest, MultipleVariablesAreIndependent) {
+  SmtResult R = run(R"(
+    (declare-const a String)
+    (declare-const b String)
+    (assert (str.in_re a (str.to_re "left")))
+    (assert (str.in_re b (str.to_re "right")))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(R, "a"), "left");
+  EXPECT_EQ(modelValue(R, "b"), "right");
+}
+
+TEST_F(SmtTest, CrossVariableDisjunction) {
+  // (in(a, X) ∧ in(b, Y)) ∨ (in(a, Y) ∧ in(b, X)) with X empty forces the
+  // branch where a gets Y.
+  SmtResult R = run(R"(
+    (declare-const a String)
+    (declare-const b String)
+    (assert (or (and (str.in_re a re.none) (str.in_re b (str.to_re "y")))
+                (and (str.in_re a (str.to_re "q")) (str.in_re b (str.to_re "x")))))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(R, "a"), "q");
+  EXPECT_EQ(modelValue(R, "b"), "x");
+}
+
+TEST_F(SmtTest, StringPredicates) {
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (str.prefixof "ab" s))
+    (assert (str.suffixof "yz" s))
+    (assert (str.contains s "mid"))
+    (assert (= (str.len s) 9))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  std::string V = modelValue(R, "s");
+  EXPECT_EQ(V.substr(0, 2), "ab");
+  EXPECT_EQ(V.substr(7), "yz");
+  EXPECT_NE(V.find("mid"), std::string::npos);
+}
+
+TEST_F(SmtTest, ReCompAndDiff) {
+  SmtResult R = run(R"(
+    (set-info :status sat)
+    (declare-const s String)
+    (assert (str.in_re s (re.diff (re.+ (re.range "0" "9"))
+                                  (re.++ (str.to_re "0") re.all))))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  std::string V = modelValue(R, "s");
+  ASSERT_FALSE(V.empty());
+  EXPECT_NE(V[0], '0');
+
+  SmtResult U = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (re.comp re.all)))
+    (check-sat))");
+  EXPECT_EQ(U.Status, SolveStatus::Unsat);
+}
+
+TEST_F(SmtTest, IndexedAndLegacyLoops) {
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s ((_ re.loop 2 3) (str.to_re "ab"))))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(R, "s"), "abab");
+
+  SmtResult L = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (re.loop (str.to_re "ab") 2 3)))
+    (check-sat))");
+  ASSERT_EQ(L.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(L, "s"), "abab");
+}
+
+TEST_F(SmtTest, Fig1DatePolicyScript) {
+  const char *Script = R"(
+    (set-info :status sat)
+    (declare-const date String)
+    (assert (str.in_re date
+      (re.++ ((_ re.loop 4 4) (re.range "0" "9"))
+             (str.to_re "-")
+             ((_ re.loop 3 3) (re.union (re.range "a" "z") (re.range "A" "Z")))
+             (str.to_re "-")
+             ((_ re.loop 2 2) (re.range "0" "9")))))
+    (assert (or (str.in_re date (re.++ (str.to_re "2019") re.all))
+                (str.in_re date (re.++ (str.to_re "2020") re.all))))
+    (check-sat))";
+  SmtResult R = run(Script);
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  Re Shape = parseRegexOrDie(M, "\\d{4}-[a-zA-Z]{3}-\\d{2}");
+  EXPECT_TRUE(E.matches(Shape, modelValue(R, "date")));
+  std::string Y = modelValue(R, "date").substr(0, 4);
+  EXPECT_TRUE(Y == "2019" || Y == "2020");
+}
+
+TEST_F(SmtTest, StrAtPositionConstraints) {
+  // The Section 2 coda: a side constraint on s0 interacts with the regex.
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (re.++ re.all (re.range "0" "9") re.all)))
+    (assert (not (str.in_re s (re.++ re.all (str.to_re "01") re.all))))
+    (assert (not (= (str.at s 0) "0")))
+    (assert (not (= (str.at s 0) "")))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  std::string V = modelValue(R, "s");
+  ASSERT_FALSE(V.empty());
+  EXPECT_NE(V[0], '0');
+
+  // Pinning a character that conflicts with the regex.
+  SmtResult U = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (re.++ (str.to_re "ab") re.all)))
+    (assert (= (str.at s 1) "c"))
+    (check-sat))");
+  EXPECT_EQ(U.Status, SolveStatus::Unsat);
+
+  // (= (str.at s k) "") forces shortness.
+  SmtResult Short = run(R"(
+    (declare-const s String)
+    (assert (= (str.at s 2) ""))
+    (assert (>= (str.len s) 2))
+    (check-sat))");
+  ASSERT_EQ(Short.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(Short, "s").size(), 2u);
+}
+
+TEST_F(SmtTest, CharacterCodeSideConstraints) {
+  // The paper's Section 2 coda, verbatim shape: the password constraint
+  // with the side condition s0 > '0' blocks the s0 = 0 branch.
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (re.++ re.all (re.range "0" "9") re.all)))
+    (assert (not (str.in_re s (re.++ re.all (str.to_re "01") re.all))))
+    (assert (> (str.to_code (str.at s 0)) 48))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  std::string V = modelValue(R, "s");
+  ASSERT_FALSE(V.empty());
+  EXPECT_GT(static_cast<unsigned char>(V[0]), '0');
+
+  // An impossible code pins the constraint to unsat.
+  SmtResult U = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (str.to_re "abc")))
+    (assert (= (str.to_code (str.at s 1)) 99))
+    (check-sat))"); // position 1 is 'b' (98), not 99
+  EXPECT_EQ(U.Status, SolveStatus::Unsat);
+
+  // str.to_code = -1 encodes "out of range": |s| <= k.
+  SmtResult Short = run(R"(
+    (declare-const s String)
+    (assert (= (str.to_code (str.at s 3)) -1))
+    (assert (str.in_re s (re.+ (str.to_re "x"))))
+    (check-sat))");
+  ASSERT_EQ(Short.Status, SolveStatus::Sat);
+  EXPECT_LE(modelValue(Short, "s").size(), 3u);
+
+  // Reversed argument order flips the comparison.
+  SmtResult Flip = run(R"(
+    (declare-const s String)
+    (assert (<= 97 (str.to_code (str.at s 0))))
+    (assert (= (str.len s) 1))
+    (check-sat))");
+  ASSERT_EQ(Flip.Status, SolveStatus::Sat);
+  EXPECT_GE(static_cast<unsigned char>(modelValue(Flip, "s")[0]), 'a');
+}
+
+TEST_F(SmtTest, DistinctXorIte) {
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (distinct s "no"))
+    (assert (str.in_re s (re.union (str.to_re "no") (str.to_re "yes"))))
+    (check-sat))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(R, "s"), "yes");
+
+  SmtResult X = run(R"(
+    (declare-const s String)
+    (assert (xor (= s "a") (= s "b")))
+    (assert (distinct s "a"))
+    (check-sat))");
+  ASSERT_EQ(X.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(X, "s"), "b");
+
+  SmtResult I = run(R"(
+    (declare-const s String)
+    (assert (ite (= (str.len s) 0) false (= s "pick")))
+    (check-sat))");
+  ASSERT_EQ(I.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(I, "s"), "pick");
+
+  SmtResult U = run(R"(
+    (declare-const s String)
+    (assert (xor (= s "a") (= s "a")))
+    (check-sat))");
+  EXPECT_EQ(U.Status, SolveStatus::Unsat);
+}
+
+TEST_F(SmtTest, UnsupportedConstructsReportCleanly) {
+  EXPECT_EQ(run("(declare-const s Int)(assert true)(check-sat)").Status,
+            SolveStatus::Sat); // Int declared but unused is fine
+  EXPECT_EQ(run("(declare-const s String)(assert (str.in_re s unknown.op))"
+                "(check-sat)")
+                .Status,
+            SolveStatus::Unsupported);
+  EXPECT_EQ(run("(push)(pop)(check-sat)").Status, SolveStatus::Unsupported);
+  EXPECT_EQ(run("(assert (= 1 2)").Status, SolveStatus::Unsupported);
+}
+
+TEST_F(SmtTest, DeepDisjunctionEnumeration) {
+  // An or-tree where only the last branch is realizable: the implicant
+  // enumeration must backtrack through all dead branches.
+  std::string Script = "(declare-const s String)\n(assert (or";
+  for (int I = 0; I != 12; ++I)
+    Script += " (and (str.in_re s (str.to_re \"x" + std::to_string(I) +
+              "\")) (str.in_re s re.none))";
+  Script += " (str.in_re s (str.to_re \"hit\"))))\n(check-sat)";
+  SmtResult R = run(Script);
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(R, "s"), "hit");
+
+  // All-dead variant is unsat.
+  std::string Bad = "(declare-const s String)\n(assert (or";
+  for (int I = 0; I != 12; ++I)
+    Bad += " (and (str.in_re s (str.to_re \"x" + std::to_string(I) +
+           "\")) (str.in_re s re.none))";
+  Bad += "))\n(check-sat)";
+  EXPECT_EQ(run(Bad).Status, SolveStatus::Unsat);
+}
+
+TEST_F(SmtTest, NegativeLengthBounds) {
+  EXPECT_EQ(run(R"((declare-const s String)
+                   (assert (>= (str.len s) -5))(check-sat))")
+                .Status,
+            SolveStatus::Sat); // trivially true
+  EXPECT_EQ(run(R"((declare-const s String)
+                   (assert (<= (str.len s) -1))(check-sat))")
+                .Status,
+            SolveStatus::Unsat); // lengths are nonnegative
+  EXPECT_EQ(run(R"((declare-const s String)
+                   (assert (= (str.len s) -2))(check-sat))")
+                .Status,
+            SolveStatus::Unsat);
+}
+
+TEST_F(SmtTest, EmptyScriptIsSat) {
+  SmtResult R = run("(declare-const s String)(check-sat)");
+  EXPECT_EQ(R.Status, SolveStatus::Sat);
+  EXPECT_EQ(modelValue(R, "s"), "");
+}
+
+} // namespace

@@ -1,0 +1,309 @@
+//===- tests/TransitionRegexTest.cpp - TR algebra tests ---------------------===//
+
+#include "core/TransitionRegex.h"
+
+#include "core/Derivatives.h"
+#include "re/RegexParser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+/// Language equality of two regexes checked by exhaustive matching of all
+/// words up to length 3 over a small representative alphabet (plus the ε
+/// case via nullability). Node equality is deliberately *not* required:
+/// distributivity and De Morgan are not interning laws, so e.g.
+/// ~(a|b) and ~a&~b are distinct nodes of the same language.
+testing::AssertionResult sameLanguage(DerivativeEngine &E, Re A, Re B) {
+  RegexManager &M = E.regexManager();
+  if (A == B)
+    return testing::AssertionSuccess();
+  if (M.nullable(A) != M.nullable(B))
+    return testing::AssertionFailure()
+           << M.toString(A) << " vs " << M.toString(B) << ": ε disagrees";
+  static const uint32_t Alphabet[] = {'a', 'b', '0', '1', '5',
+                                      'z', '!', 0x4E2D};
+  std::vector<std::vector<uint32_t>> Words = {{}};
+  size_t Start = 0;
+  for (int Len = 1; Len <= 3; ++Len) {
+    size_t End = Words.size();
+    for (size_t I = Start; I != End; ++I)
+      for (uint32_t Ch : Alphabet) {
+        Words.push_back(Words[I]);
+        Words.back().push_back(Ch);
+      }
+    Start = End;
+  }
+  for (const auto &W : Words)
+    if (E.matches(A, W) != E.matches(B, W))
+      return testing::AssertionFailure()
+             << M.toString(A) << " vs " << M.toString(B)
+             << " disagree on a word of length " << W.size();
+  return testing::AssertionSuccess();
+}
+
+class TrTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+
+  Re re(const std::string &S) { return parseRegexOrDie(M, S); }
+};
+
+TEST_F(TrTest, LeafMergingThroughRegexAlgebra) {
+  Tr A = T.leaf(re("ab"));
+  Tr B = T.leaf(re("cd"));
+  // Union of two leaves is one leaf over the regex union.
+  Tr U = T.union2(A, B);
+  ASSERT_EQ(T.kind(U), TrKind::Leaf);
+  EXPECT_EQ(T.node(U).LeafRe, M.union_(re("ab"), re("cd")));
+  // ⊥ is the unit, .* absorbs.
+  EXPECT_EQ(T.union2(A, T.bot()), A);
+  EXPECT_EQ(T.union2(A, T.topLeaf()), T.topLeaf());
+  EXPECT_EQ(T.inter2(A, T.topLeaf()), A);
+  EXPECT_EQ(T.inter2(A, T.bot()), T.bot());
+}
+
+TEST_F(TrTest, IteSimplifications) {
+  CharSet D = CharSet::digit();
+  Tr A = T.leaf(re("a"));
+  Tr B = T.leaf(re("b"));
+  EXPECT_EQ(T.ite(CharSet::full(), A, B), A);
+  EXPECT_EQ(T.ite(CharSet(), A, B), B);
+  EXPECT_EQ(T.ite(D, A, A), A);
+  // Directly nested conditionals on the same predicate collapse.
+  Tr Nested = T.ite(D, T.ite(D, A, B), B);
+  EXPECT_EQ(Nested, T.ite(D, A, B));
+}
+
+TEST_F(TrTest, ApplySelectsBranch) {
+  CharSet D = CharSet::digit();
+  Tr Cond = T.ite(D, T.leaf(re("x")), T.leaf(re("y")));
+  EXPECT_EQ(T.apply(Cond, '5'), re("x"));
+  EXPECT_EQ(T.apply(Cond, 'q'), re("y"));
+}
+
+TEST_F(TrTest, NegationDualOnConditional) {
+  // ~if(φ0, 1.*, ⊥) ≡ if(φ0, ~(1.*), .*)  — the Section 2 step.
+  CharSet Zero = CharSet::singleton('0');
+  Tr D = T.ite(Zero, T.leaf(re("1.*")), T.bot());
+  Tr N = T.negate(D);
+  ASSERT_EQ(T.kind(N), TrKind::Ite);
+  EXPECT_EQ(T.node(N).Cond, Zero);
+  EXPECT_EQ(T.node(N).Kids[0], T.leaf(M.complement(re("1.*"))));
+  EXPECT_EQ(T.node(N).Kids[1], T.topLeaf());
+}
+
+TEST_F(TrTest, NegationIsInvolutive) {
+  CharSet D = CharSet::digit();
+  Tr X = T.inter2(T.ite(D, T.leaf(re("a*")), T.leaf(re("b"))),
+                  T.union2(T.ite(CharSet::singleton('0'), T.bot(),
+                                 T.leaf(re("c"))),
+                           T.leaf(re("d?e"))));
+  EXPECT_EQ(T.negate(T.negate(X)), X);
+}
+
+TEST_F(TrTest, NegationAgreesWithApply) {
+  // Lemma 4.2 sampled: L((~τ)(a)) = L(~(τ(a))).
+  DerivativeEngine E(M, T);
+  CharSet D = CharSet::digit();
+  Tr X = T.union2(T.ite(D, T.leaf(re("ab")), T.leaf(re("c*"))),
+                  T.leaf(re("de")));
+  Tr N = T.negate(X);
+  for (uint32_t Ch : {uint32_t('0'), uint32_t('z'), uint32_t(0x1F600)})
+    EXPECT_TRUE(sameLanguage(E, T.apply(N, Ch),
+                             M.complement(T.apply(X, Ch))));
+}
+
+TEST_F(TrTest, ConcatDistributesOverStructure) {
+  CharSet D = CharSet::digit();
+  Re Tail = re("xyz");
+  Tr Cond = T.ite(D, T.leaf(re("a")), T.leaf(re("b")));
+  Tr CR = T.concatRe(Cond, Tail);
+  ASSERT_EQ(T.kind(CR), TrKind::Ite);
+  EXPECT_EQ(T.node(CR).Kids[0], T.leaf(M.concat(re("a"), Tail)));
+  EXPECT_EQ(T.node(CR).Kids[1], T.leaf(M.concat(re("b"), Tail)));
+  // τ · ε = τ, τ · ⊥ = ⊥.
+  EXPECT_EQ(T.concatRe(Cond, M.epsilon()), Cond);
+  EXPECT_EQ(T.concatRe(Cond, M.empty()), T.bot());
+}
+
+TEST_F(TrTest, DnfEliminatesInter) {
+  CharSet D = CharSet::digit();
+  CharSet L = CharSet::asciiLetter();
+  Tr A = T.ite(D, T.topLeaf(), T.leaf(re(".*\\d.*")));
+  Tr B = T.ite(L, T.topLeaf(), T.leaf(re(".*[a-zA-Z].*")));
+  Tr I = T.inter2(A, B);
+  ASSERT_EQ(T.kind(I), TrKind::Inter);
+  Tr Dnf = T.dnf(I);
+  EXPECT_TRUE(T.isDnf(Dnf));
+  // Semantics preserved at sampled characters.
+  for (uint32_t Ch : {uint32_t('3'), uint32_t('x'), uint32_t('!')})
+    EXPECT_EQ(T.apply(Dnf, Ch), T.apply(I, Ch));
+}
+
+TEST_F(TrTest, DnfPrunesContradictoryBranches) {
+  // if(φd,·,·) under a path where the character is '0'..'9' already: the
+  // inner else-branch is dead and must disappear.
+  CharSet D = CharSet::digit();
+  CharSet Zero = CharSet::singleton('0');
+  Tr Inner = T.ite(D, T.leaf(re("a")), T.leaf(re("b")));
+  Tr Outer = T.ite(Zero, Inner, T.leaf(re("c")));
+  Tr Dnf = T.dnf(Outer);
+  // Under φ0, φd is implied, so the result is if(φ0, a, c).
+  EXPECT_EQ(Dnf, T.ite(Zero, T.leaf(re("a")), T.leaf(re("c"))));
+}
+
+TEST_F(TrTest, ArcsEnumerateSatisfiableGuards) {
+  CharSet Zero = CharSet::singleton('0');
+  CharSet D = CharSet::digit();
+  Tr X = T.ite(Zero, T.leaf(re("r0")), T.ite(D, T.leaf(re("rd")),
+                                             T.leaf(re("rr"))));
+  std::vector<TrArc> Arcs = T.arcs(X);
+  ASSERT_EQ(Arcs.size(), 3u);
+  // Guards are pairwise disjoint along the conditional spine and cover Σ.
+  CharSet All;
+  for (const TrArc &A : Arcs) {
+    EXPECT_FALSE(A.Guard.isEmpty());
+    for (const TrArc &B : Arcs)
+      if (&A != &B) {
+        EXPECT_TRUE(A.Guard.isDisjointFrom(B.Guard));
+      }
+    All = All.unionWith(A.Guard);
+  }
+  EXPECT_TRUE(All.isFull());
+}
+
+TEST_F(TrTest, ArcsMergeSameTarget) {
+  CharSet D = CharSet::digit();
+  CharSet L = CharSet::asciiLetter();
+  // Same leaf behind two different guards (via a union of conditionals).
+  Tr X = T.union2(T.ite(D, T.leaf(re("t")), T.bot()),
+                  T.ite(L, T.leaf(re("t")), T.bot()));
+  std::vector<TrArc> Arcs = T.arcs(X);
+  ASSERT_EQ(Arcs.size(), 1u);
+  EXPECT_EQ(Arcs[0].Guard, D.unionWith(L));
+  EXPECT_EQ(Arcs[0].Target, re("t"));
+}
+
+TEST_F(TrTest, ArcsSkipBotTargets) {
+  CharSet D = CharSet::digit();
+  Tr X = T.ite(D, T.leaf(re("t")), T.bot());
+  std::vector<TrArc> Arcs = T.arcs(X);
+  ASSERT_EQ(Arcs.size(), 1u);
+  EXPECT_EQ(Arcs[0].Guard, D);
+}
+
+TEST_F(TrTest, CollectLeaves) {
+  CharSet D = CharSet::digit();
+  Tr X = T.union2(T.ite(D, T.leaf(re("a")), T.bot()),
+                  T.ite(D, T.leaf(re("b")), T.topLeaf()));
+  std::vector<Re> Leaves;
+  T.collectLeaves(X, Leaves);
+  // Nontrivial terminals only: a and b (⊥ and .* excluded).
+  EXPECT_EQ(Leaves.size(), 2u);
+  Leaves.clear();
+  T.collectLeaves(X, Leaves, /*IncludeTrivial=*/true);
+  EXPECT_EQ(Leaves.size(), 4u);
+}
+
+TEST_F(TrTest, ToStringNotation) {
+  CharSet Zero = CharSet::singleton('0');
+  Tr X = T.ite(Zero, T.leaf(re("a")), T.bot());
+  EXPECT_EQ(T.toString(X), "if(0, a, [])");
+}
+
+/// Random TR generator for the semantic property suite.
+class TrPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+Tr randomTr(RegexManager &M, TrManager &T, Rng &R, int Depth) {
+  if (Depth <= 0) {
+    switch (R.below(4)) {
+    case 0:
+      return T.leaf(M.chr(static_cast<uint32_t>('a' + R.below(3))));
+    case 1:
+      return T.leaf(M.star(M.chr('a')));
+    case 2:
+      return T.bot();
+    default:
+      return T.leaf(M.concat(M.pred(CharSet::digit()), M.top()));
+    }
+  }
+  switch (R.below(4)) {
+  case 0: {
+    CharSet C = R.chance(1, 2) ? CharSet::digit()
+                               : CharSet::range('a', 'm');
+    Tr A = randomTr(M, T, R, Depth - 1);
+    Tr B = randomTr(M, T, R, Depth - 1);
+    return T.ite(C, A, B);
+  }
+  case 1:
+    return T.union2(randomTr(M, T, R, Depth - 1),
+                    randomTr(M, T, R, Depth - 1));
+  case 2:
+    return T.inter2(randomTr(M, T, R, Depth - 1),
+                    randomTr(M, T, R, Depth - 1));
+  default:
+    return T.negate(randomTr(M, T, R, Depth - 1));
+  }
+}
+
+TEST_P(TrPropertyTest, DnfPreservesSemantics) {
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  Rng R(GetParam());
+  for (int I = 0; I != 8; ++I) {
+    Tr X = randomTr(M, T, R, 4);
+    Tr D = T.dnf(X);
+    EXPECT_TRUE(T.isDnf(D));
+    for (uint32_t Ch :
+         {uint32_t('0'), uint32_t('5'), uint32_t('a'), uint32_t('n'),
+          uint32_t('z'), uint32_t('!'), uint32_t(0x4E2D)})
+      EXPECT_TRUE(sameLanguage(E, T.apply(D, Ch), T.apply(X, Ch)));
+  }
+}
+
+TEST_P(TrPropertyTest, NegationDualIsSemanticComplement) {
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  Rng R(GetParam());
+  for (int I = 0; I != 8; ++I) {
+    Tr X = randomTr(M, T, R, 4);
+    Tr N = T.negate(X);
+    EXPECT_EQ(T.negate(N), X);
+    for (uint32_t Ch :
+         {uint32_t('0'), uint32_t('b'), uint32_t('z'), uint32_t(0x100)})
+      EXPECT_TRUE(
+          sameLanguage(E, T.apply(N, Ch), M.complement(T.apply(X, Ch))));
+  }
+}
+
+TEST_P(TrPropertyTest, ArcsAgreeWithApply) {
+  RegexManager M;
+  TrManager T(M);
+  Rng R(GetParam());
+  for (int I = 0; I != 10; ++I) {
+    Tr X = T.dnf(randomTr(M, T, R, 3));
+    std::vector<TrArc> Arcs = T.arcs(X);
+    // Every arc's sampled character leads somewhere consistent with apply:
+    // the arc target is one of the union branches of τ(a), i.e. the regex
+    // union of all matching targets equals apply.
+    for (uint32_t Ch : {uint32_t('0'), uint32_t('c'), uint32_t('~')}) {
+      std::vector<Re> Matching;
+      for (const TrArc &A : Arcs)
+        if (A.Guard.contains(Ch))
+          Matching.push_back(A.Target);
+      EXPECT_EQ(M.unionList(std::move(Matching)), T.apply(X, Ch));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+} // namespace

@@ -1,0 +1,114 @@
+//===- tests/WorkloadsTest.cpp - Benchmark generator validation --------------===//
+///
+/// \file
+/// The workload generators carry ground-truth sat/unsat labels computed by
+/// construction. This suite validates the generators themselves: labels
+/// must agree with the reference solver, counts must match the paper's
+/// figures, generation must be deterministic, and every pattern must parse.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "re/RegexParser.h"
+#include "solver/RegexSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbd;
+
+namespace {
+
+class WorkloadsTest : public ::testing::Test {
+protected:
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+  RegexSolver S{E};
+
+  /// Every instance must parse; labeled instances must agree with the
+  /// solver.
+  void validate(const BenchSuite &Suite) {
+    for (const BenchInstance &Inst : Suite.Instances) {
+      RegexParseResult Parsed = parseRegex(M, Inst.Pattern);
+      ASSERT_TRUE(Parsed.Ok)
+          << Suite.Name << "/" << Inst.Name << ": " << Inst.Pattern;
+      if (!Inst.ExpectedSat.has_value())
+        continue;
+      SolveOptions Opts;
+      Opts.MaxStates = 300000;
+      Opts.Strategy = SearchStrategy::Dfs;
+      SolveResult Res = S.checkSat(Parsed.Value, Opts);
+      ASSERT_NE(Res.Status, SolveStatus::Unknown)
+          << Suite.Name << "/" << Inst.Name;
+      EXPECT_EQ(Res.Status == SolveStatus::Sat, *Inst.ExpectedSat)
+          << Suite.Name << "/" << Inst.Name << ": " << Inst.Pattern;
+    }
+  }
+};
+
+TEST_F(WorkloadsTest, HandwrittenCountsMatchPaper) {
+  EXPECT_EQ(makeDateFamily().Instances.size(), 20u);
+  EXPECT_EQ(makePasswordFamily().Instances.size(), 34u);
+  EXPECT_EQ(makeBooleanLoopsFamily().Instances.size(), 21u);
+  EXPECT_EQ(makeDeterminizationBlowupFamily().Instances.size(), 14u);
+  size_t Total = 0;
+  for (const BenchSuite &Suite : handwrittenSuites())
+    Total += Suite.Instances.size();
+  EXPECT_EQ(Total, 89u); // the paper's H total
+}
+
+TEST_F(WorkloadsTest, HandwrittenLabelsAgreeWithSolver) {
+  for (const BenchSuite &Suite : handwrittenSuites())
+    validate(Suite);
+}
+
+TEST_F(WorkloadsTest, GeneratedLabelsAgreeWithSolver) {
+  validate(makeKaluzaLike(120, 7));
+  validate(makeSlogLike(120, 8));
+  validate(makeNornLike(120, 9));
+  validate(makeNornBooleanLike(120, 13));
+  validate(makeSyGuSLike(120, 10));
+  validate(makeRegExLibSubset(30, 11));
+  validate(makeRegExLibIntersection(30, 12));
+}
+
+TEST_F(WorkloadsTest, GenerationIsDeterministic) {
+  BenchSuite A = makeKaluzaLike(50, 123);
+  BenchSuite B = makeKaluzaLike(50, 123);
+  ASSERT_EQ(A.Instances.size(), B.Instances.size());
+  for (size_t I = 0; I != A.Instances.size(); ++I) {
+    EXPECT_EQ(A.Instances[I].Pattern, B.Instances[I].Pattern);
+    EXPECT_EQ(A.Instances[I].ExpectedSat, B.Instances[I].ExpectedSat);
+  }
+  // A different seed produces a different suite.
+  BenchSuite C = makeKaluzaLike(50, 124);
+  bool AnyDifferent = false;
+  for (size_t I = 0; I != A.Instances.size(); ++I)
+    AnyDifferent = AnyDifferent ||
+                   A.Instances[I].Pattern != C.Instances[I].Pattern;
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST_F(WorkloadsTest, ScalingRules) {
+  EXPECT_EQ(scaledCount(100, 1.0), 100u);
+  EXPECT_EQ(scaledCount(100, 0.05), 5u);
+  EXPECT_EQ(scaledCount(3, 0.001), 1u); // never below one instance
+}
+
+TEST_F(WorkloadsTest, ClassificationFlags) {
+  for (const BenchSuite &Suite : nonBooleanSuites(0.01, 1))
+    for (const BenchInstance &Inst : Suite.Instances)
+      EXPECT_FALSE(Inst.IsBoolean) << Inst.Name;
+  for (const BenchSuite &Suite : booleanSuites(0.05, 1))
+    for (const BenchInstance &Inst : Suite.Instances)
+      EXPECT_TRUE(Inst.IsBoolean) << Inst.Name;
+  // Complement flags match the pattern text.
+  for (const BenchSuite &Suite : handwrittenSuites())
+    for (const BenchInstance &Inst : Suite.Instances)
+      EXPECT_EQ(Inst.UsesComplement,
+                Inst.Pattern.find('~') != std::string::npos)
+          << Inst.Name;
+}
+
+} // namespace
