@@ -7,6 +7,9 @@
 ///   --timeout-ms <n>   per-instance wall-clock budget
 ///   --max-states <n>   per-instance state budget (safety net)
 ///   --seed <n>         generator seed
+///   --threads <n>      worker threads for the batch-capable harnesses
+///                      (default 1, which keeps single-thread figure
+///                      outputs identical to the sequential path)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +27,7 @@ namespace sbd {
 struct BenchArgs {
   double Scale = 0.05;
   uint64_t Seed = 2021;
+  unsigned Threads = 1;
   SolveOptions Opts;
 
   static BenchArgs parse(int Argc, char **Argv) {
@@ -46,10 +50,13 @@ struct BenchArgs {
         A.Opts.MaxStates = std::strtoull(need("--max-states"), nullptr, 10);
       else if (!std::strcmp(Argv[I], "--seed"))
         A.Seed = std::strtoull(need("--seed"), nullptr, 10);
+      else if (!std::strcmp(Argv[I], "--threads"))
+        A.Threads =
+            static_cast<unsigned>(std::strtoul(need("--threads"), nullptr, 10));
       else {
         std::fprintf(stderr,
                      "usage: %s [--scale f] [--timeout-ms n] "
-                     "[--max-states n] [--seed n]\n",
+                     "[--max-states n] [--seed n] [--threads n]\n",
                      Argv[0]);
         std::exit(1);
       }

@@ -18,6 +18,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 using namespace sbd;
 
 namespace {
@@ -80,8 +84,34 @@ void BM_DerivativeChain(benchmark::State &State) {
       Cur = T.apply(E.derivativeDnf(Cur), Ch);
     benchmark::DoNotOptimize(Cur);
   }
+  State.counters["intern_hit%"] = M.stats().internHitRate() * 100.0;
+  State.counters["memo_hit%"] = E.stats().memoHitRate() * 100.0;
+  State.counters["avg_probe"] = M.stats().avgProbeLength();
 }
 BENCHMARK(BM_DerivativeChain);
+
+void BM_InternRebuild(benchmark::State &State) {
+  // Hash-consing hot loop: re-interning an already-present tree is the
+  // single most frequent operation in derivative computation. Builds a
+  // family of distinct regexes once, then measures rebuilding them (all
+  // hits, exercising the open-addressing probe path).
+  RegexManager M;
+  auto build = [&](uint32_t I) {
+    Re Word = M.literal("k" + std::to_string(I));
+    return M.union_(M.concat(Word, M.star(M.chr('a' + I % 26))),
+                    M.loop(M.chr('0' + I % 10), 1, 3 + I % 5));
+  };
+  for (uint32_t I = 0; I != 512; ++I)
+    benchmark::DoNotOptimize(build(I));
+  for (auto _ : State) {
+    for (uint32_t I = 0; I != 512; ++I)
+      benchmark::DoNotOptimize(build(I));
+  }
+  State.counters["intern_hit%"] = M.stats().internHitRate() * 100.0;
+  State.counters["avg_probe"] = M.stats().avgProbeLength();
+  State.counters["nodes"] = static_cast<double>(M.numNodes());
+}
+BENCHMARK(BM_InternRebuild);
 
 void BM_MatcherLongInput(benchmark::State &State) {
   RegexManager M;
@@ -189,6 +219,9 @@ void BM_CachedMatcherThroughput(benchmark::State &State) {
     Input.push_back("abx7"[I % 4]);
   for (auto _ : State)
     benchmark::DoNotOptimize(Matcher.matches(Input));
+  State.counters["states"] =
+      static_cast<double>(Matcher.statesMaterialized());
+  State.counters["memo_hit%"] = E.stats().memoHitRate() * 100.0;
 }
 BENCHMARK(BM_CachedMatcherThroughput)->Arg(64)->Arg(1024);
 
@@ -208,4 +241,27 @@ BENCHMARK(BM_GraphDeadStateReuse);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/// Custom main so the harness accepts `--quick` (a short smoke run used by
+/// scripts/check.sh) on top of the standard google-benchmark flags.
+int main(int Argc, char **Argv) {
+  std::vector<char *> Args(Argv, Argv + Argc);
+  static char MinTime[] = "--benchmark_min_time=0.01";
+  bool Quick = false;
+  for (auto It = Args.begin(); It != Args.end();) {
+    if (!std::strcmp(*It, "--quick")) {
+      Quick = true;
+      It = Args.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  if (Quick)
+    Args.insert(Args.begin() + 1, MinTime);
+  int NewArgc = static_cast<int>(Args.size());
+  benchmark::Initialize(&NewArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(NewArgc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # One-shot verification: configure, build, run the full test suite, run the
-# benchmark harness, and (optionally) repeat the tests under ASan+UBSan.
+# benchmark harness, a Release-mode bench smoke run, a ThreadSanitizer build
+# of the parallel batch-solver tests, and (optionally) repeat the tests under
+# ASan+UBSan.
 #
-#   scripts/check.sh            # build + test + bench
+#   scripts/check.sh            # build + test + bench + bench smoke + tsan
 #   scripts/check.sh --asan     # additionally run the sanitizer suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,6 +16,19 @@ ctest --test-dir build --output-on-failure
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"
 done
+
+# Release-mode bench smoke: catches perf-path regressions that only compile
+# (or only crash) under optimization, and keeps the --quick flag working.
+cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release --target bench_micro bench_batch
+build-release/bench/bench_micro --quick
+build-release/bench/bench_batch --threads 2 --scale 0.02
+
+# ThreadSanitizer build of the parallel front end: the batch solver is the
+# only component that spawns threads, so only its tests need the TSan run.
+cmake -B build-tsan -G Ninja -DSBD_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan --target batch_solver_test
+ctest --test-dir build-tsan -R BatchSolver --output-on-failure
 
 if [ "${1:-}" = "--asan" ]; then
   cmake -B build-asan -G Ninja -DSBD_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug

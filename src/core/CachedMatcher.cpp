@@ -14,15 +14,14 @@ CachedMatcher::CachedMatcher(DerivativeEngine &Engine, Re Pattern)
 }
 
 uint32_t CachedMatcher::internState(Re R) {
-  auto It = StateIndex.find(R.Id);
-  if (It != StateIndex.end())
-    return It->second;
+  if (const uint32_t *Hit = StateIndex.find(R.Id))
+    return *Hit;
   uint32_t Idx = static_cast<uint32_t>(States.size());
   State S;
   S.Regex = R;
   S.Accepting = M.nullable(R);
   States.push_back(std::move(S));
-  StateIndex.emplace(R.Id, Idx);
+  StateIndex.insert(R.Id, Idx);
   return Idx;
 }
 
@@ -69,11 +68,27 @@ void CachedMatcher::expand(uint32_t StateIdx) {
   CachedArcCount += Ranges.size();
   States[StateIdx].Ranges = std::move(Ranges);
   States[StateIdx].Expanded = true;
+
+  // Fill the state's dense block: one direct-indexed successor per ASCII
+  // character. States expand in visit order, so grow the flat table to
+  // cover this row (rows of never-expanded states stay all-dead).
+  size_t RowBase = static_cast<size_t>(StateIdx) * DenseBlock;
+  if (DenseTable.size() < RowBase + DenseBlock)
+    DenseTable.resize(RowBase + DenseBlock, UINT32_MAX);
+  for (const State::Range &Rg : States[StateIdx].Ranges) {
+    if (Rg.Lo >= DenseBlock)
+      break; // ranges are sorted; nothing below the block boundary follows
+    uint32_t Hi = std::min(Rg.Hi, DenseBlock - 1);
+    for (uint32_t Ch = Rg.Lo; Ch <= Hi; ++Ch)
+      DenseTable[RowBase + Ch] = Rg.Target;
+  }
 }
 
 uint32_t CachedMatcher::step(uint32_t StateIdx, uint32_t Ch) {
   if (!States[StateIdx].Expanded)
     expand(StateIdx);
+  if (Ch < DenseBlock)
+    return DenseTable[static_cast<size_t>(StateIdx) * DenseBlock + Ch];
   const auto &Ranges = States[StateIdx].Ranges;
   // Binary search the sorted disjoint ranges.
   size_t Lo = 0, Hi = Ranges.size();

@@ -22,7 +22,6 @@
 #include "core/Derivatives.h"
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace sbd {
@@ -64,11 +63,20 @@ private:
   /// Next state on Ch; UINT32_MAX encodes the dead sink.
   uint32_t step(uint32_t State, uint32_t Ch);
 
+  /// Width of the dense per-state transition block (the ASCII sub-alphabet,
+  /// by far the hottest minterm region in practice).
+  static constexpr uint32_t DenseBlock = 128;
+
   DerivativeEngine &Engine;
   RegexManager &M;
   TrManager &T;
   std::vector<State> States;
-  std::unordered_map<uint32_t, uint32_t> StateIndex; // Re.Id -> state
+  FlatMap64 StateIndex; // Re.Id -> state
+  /// Flat transition table keyed by (state, character-block): row
+  /// `State * DenseBlock` holds the successor for each ASCII character,
+  /// filled when the state is expanded. Non-ASCII characters fall back to
+  /// binary search over the state's guard partition.
+  std::vector<uint32_t> DenseTable;
   uint32_t InitialState;
   size_t CachedArcCount = 0;
 };

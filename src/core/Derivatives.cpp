@@ -8,9 +8,11 @@
 using namespace sbd;
 
 Tr DerivativeEngine::derivative(Re R) {
-  auto It = DerivCache.find(R.Id);
-  if (It != DerivCache.end())
-    return It->second;
+  if (R.Id < DerivMemo.size() && DerivMemo[R.Id] != MissingId) {
+    SBD_STATS_INC(Stats, MemoHits);
+    return Tr{DerivMemo[R.Id]};
+  }
+  SBD_STATS_INC(Stats, MemoMisses);
 
   // Copy the node: recursive calls may grow the regex arena.
   RegexNode N = M.node(R);
@@ -67,20 +69,47 @@ Tr DerivativeEngine::derivative(Re R) {
     Result = T.negate(derivative(N.Kids[0]));
     break;
   }
-  DerivCache.emplace(R.Id, Result);
+  if (DerivMemo.size() <= R.Id)
+    DerivMemo.resize(M.numNodes(), MissingId);
+  DerivMemo[R.Id] = Result.Id;
   return Result;
 }
 
 Tr DerivativeEngine::derivativeDnf(Re R) {
-  auto It = DnfCache.find(R.Id);
-  if (It != DnfCache.end())
-    return It->second;
+  if (R.Id < DnfMemo.size() && DnfMemo[R.Id] != MissingId) {
+    SBD_STATS_INC(Stats, MemoHits);
+    return Tr{DnfMemo[R.Id]};
+  }
+  SBD_STATS_INC(Stats, MemoMisses);
   Tr Result = T.dnf(derivative(R));
-  DnfCache.emplace(R.Id, Result);
+  if (DnfMemo.size() <= R.Id)
+    DnfMemo.resize(M.numNodes(), MissingId);
+  DnfMemo[R.Id] = Result.Id;
   return Result;
 }
 
+void DerivativeEngine::clearCaches() {
+  DerivMemo.clear();
+  DnfMemo.clear();
+  BrzMemo.clear();
+  T.clearCaches();
+}
+
 Re DerivativeEngine::brzozowski(Re R, uint32_t Ch) {
+  // (id, char) memo: repeated matching walks the same derivative chains.
+  assert(Ch <= MaxCodePoint && "character outside the code-point domain");
+  uint64_t Key = (static_cast<uint64_t>(R.Id) << 21) | Ch;
+  if (const uint32_t *Hit = BrzMemo.find(Key)) {
+    SBD_STATS_INC(Stats, MemoHits);
+    return Re{*Hit};
+  }
+  SBD_STATS_INC(Stats, MemoMisses);
+  Re Out = brzozowskiUncached(R, Ch);
+  BrzMemo.insert(Key, Out.Id);
+  return Out;
+}
+
+Re DerivativeEngine::brzozowskiUncached(Re R, uint32_t Ch) {
   RegexNode N = M.node(R);
   switch (N.Kind) {
   case RegexKind::Empty:

@@ -21,7 +21,6 @@
 
 #include "core/TransitionRegex.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace sbd {
@@ -53,11 +52,32 @@ public:
   /// Convenience: match an ASCII/UTF-8 string.
   bool matches(Re R, const std::string &Utf8);
 
+  /// Drops all memo slots (δ, δdnf, Brzozowski) here and in the TrManager,
+  /// so a long-running process can bound memory between queries. Interned
+  /// arena nodes are untouched — handles stay valid, results stay identical.
+  void clearCaches();
+
+  /// Memo hit/miss counters for δ/δdnf/Brzozowski.
+  const CacheStats &stats() const { return Stats; }
+  void resetStats() { Stats.reset(); }
+
 private:
+  /// Tombstone for the dense id-indexed memo slots.
+  static constexpr uint32_t MissingId = 0xFFFFFFFFu;
+
+  Re brzozowskiUncached(Re R, uint32_t Ch);
+
   RegexManager &M;
   TrManager &T;
-  std::unordered_map<uint32_t, Tr> DerivCache;
-  std::unordered_map<uint32_t, Tr> DnfCache;
+  /// δ / δdnf memo: inline slots indexed by Re id (ids are dense), value is
+  /// the memoized Tr id or MissingId.
+  std::vector<uint32_t> DerivMemo;
+  std::vector<uint32_t> DnfMemo;
+  /// Classical-derivative memo keyed by (regex id, character): the matcher
+  /// walks D_a chains over the same states repeatedly, so this turns
+  /// repeated matching into table lookups (the SRM argument of §8.5).
+  FlatMap64 BrzMemo;
+  CacheStats Stats;
 };
 
 } // namespace sbd

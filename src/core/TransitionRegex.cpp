@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 using namespace sbd;
 
@@ -21,17 +22,31 @@ Tr TrManager::intern(TrNode Node) {
   H = hashCombine(H, Node.Cond.hash());
   for (Tr Kid : Node.Kids)
     H = hashCombine(H, Kid.Id);
-  auto &Bucket = ConsTable[H];
-  for (uint32_t Id : Bucket) {
-    const TrNode &Other = Nodes[Id];
-    if (Other.Kind == Node.Kind && Other.LeafRe == Node.LeafRe &&
-        Other.Cond == Node.Cond && Other.Kids == Node.Kids)
-      return Tr{Id};
-  }
-  uint32_t Id = static_cast<uint32_t>(Nodes.size());
-  Nodes.push_back(std::move(Node));
-  Bucket.push_back(Id);
+  Node.Hash = H;
+  uint32_t Id = ConsTable.findOrInsert(
+      H,
+      [&](uint32_t Cand) {
+        const TrNode &Other = Nodes[Cand];
+        return Other.Kind == Node.Kind && Other.LeafRe == Node.LeafRe &&
+               Other.Cond == Node.Cond && Other.Kids == Node.Kids;
+      },
+      [&] {
+        uint32_t NewId = static_cast<uint32_t>(Nodes.size());
+        Nodes.push_back(std::move(Node));
+        return NewId;
+      },
+      Stats);
   return Tr{Id};
+}
+
+void TrManager::reserve(size_t NumNodes) {
+  Nodes.reserve(NumNodes);
+  ConsTable.reserve(NumNodes);
+}
+
+void TrManager::clearCaches() {
+  NegateMemo.clear();
+  DnfMemo.clear();
 }
 
 Tr TrManager::leaf(Re R) {
@@ -134,9 +149,11 @@ Tr TrManager::inter(std::vector<Tr> Ts) {
 }
 
 Tr TrManager::negate(Tr T) {
-  auto It = NegateCache.find(T.Id);
-  if (It != NegateCache.end())
-    return It->second;
+  if (T.Id < NegateMemo.size() && NegateMemo[T.Id] != MissingId) {
+    SBD_STATS_INC(Stats, MemoHits);
+    return Tr{NegateMemo[T.Id]};
+  }
+  SBD_STATS_INC(Stats, MemoMisses);
   // Copy the node: recursive calls below may grow the arena and invalidate
   // references into it.
   TrNode N = node(T);
@@ -166,7 +183,9 @@ Tr TrManager::negate(Tr T) {
     break;
   }
   }
-  NegateCache.emplace(T.Id, Result);
+  if (NegateMemo.size() <= T.Id)
+    NegateMemo.resize(Nodes.size(), MissingId);
+  NegateMemo[T.Id] = Result.Id;
   return Result;
 }
 
@@ -223,11 +242,15 @@ Re TrManager::apply(Tr T, uint32_t Ch) const {
 }
 
 Tr TrManager::dnf(Tr T) {
-  auto It = DnfCache.find(T.Id);
-  if (It != DnfCache.end())
-    return It->second;
+  if (T.Id < DnfMemo.size() && DnfMemo[T.Id] != MissingId) {
+    SBD_STATS_INC(Stats, MemoHits);
+    return Tr{DnfMemo[T.Id]};
+  }
+  SBD_STATS_INC(Stats, MemoMisses);
   Tr Result = dnfUnder(T, CharSet::full());
-  DnfCache.emplace(T.Id, Result);
+  if (DnfMemo.size() <= T.Id)
+    DnfMemo.resize(Nodes.size(), MissingId);
+  DnfMemo[T.Id] = Result.Id;
   return Result;
 }
 

@@ -27,7 +27,6 @@
 #include "re/Regex.h"
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace sbd {
@@ -55,6 +54,7 @@ struct TrNode {
   Re LeafRe{};          ///< Leaf only
   CharSet Cond;         ///< Ite only
   std::vector<Tr> Kids; ///< Ite: {then, else}; Union/Inter: n-ary
+  uint64_t Hash = 0;    ///< precomputed structural hash (interning key)
 };
 
 /// One edge of a DNF transition regex: reading a character in [[Guard]] can
@@ -75,6 +75,15 @@ public:
   const TrNode &node(Tr T) const { return Nodes[T.Id]; }
   TrKind kind(Tr T) const { return Nodes[T.Id].Kind; }
   size_t numNodes() const { return Nodes.size(); }
+
+  /// Pre-sizes the node arena and interning table.
+  void reserve(size_t NumNodes);
+  /// Drops the negate/DNF memo slots (the interned nodes stay — handles
+  /// remain valid). Lets long-running processes bound memo growth.
+  void clearCaches();
+  /// Interning/memo counters.
+  const CacheStats &stats() const { return Stats; }
+  void resetStats() { Stats.reset(); }
 
   /// --- Constructors (normalizing) ------------------------------------------
 
@@ -152,11 +161,17 @@ private:
   void collectArcs(Tr T, const CharSet &Guard,
                    std::vector<TrArc> &Out) const;
 
+  /// Tombstone for the dense id-indexed memo slots.
+  static constexpr uint32_t MissingId = 0xFFFFFFFFu;
+
   RegexManager &M;
   std::vector<TrNode> Nodes;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> ConsTable;
-  std::unordered_map<uint32_t, Tr> NegateCache;
-  std::unordered_map<uint32_t, Tr> DnfCache;
+  InternTable ConsTable;
+  /// Inline memo slots indexed by Tr id; ids are dense, so a flat vector
+  /// with a tombstone beats a hash map on every lookup.
+  std::vector<uint32_t> NegateMemo;
+  std::vector<uint32_t> DnfMemo;
+  CacheStats Stats;
   Tr BotTr, TopTr;
 };
 

@@ -35,14 +35,14 @@ RegexManager::RegexManager() {
 
 uint32_t RegexManager::internSet(const CharSet &Set) {
   uint64_t H = Set.hash();
-  auto &Bucket = SetTable[H];
-  for (uint32_t Idx : Bucket)
-    if (Sets[Idx] == Set)
-      return Idx;
-  uint32_t Idx = static_cast<uint32_t>(Sets.size());
-  Sets.push_back(Set);
-  Bucket.push_back(Idx);
-  return Idx;
+  return SetTable.findOrInsert(
+      H, [&](uint32_t Idx) { return Sets[Idx] == Set; },
+      [&] {
+        uint32_t Idx = static_cast<uint32_t>(Sets.size());
+        Sets.push_back(Set);
+        return Idx;
+      },
+      Stats);
 }
 
 uint64_t RegexManager::hashNode(const RegexNode &Node) const {
@@ -62,14 +62,21 @@ bool RegexManager::nodeEquals(const RegexNode &A, const RegexNode &B) const {
 
 Re RegexManager::intern(RegexNode Node) {
   uint64_t H = hashNode(Node);
-  auto &Bucket = ConsTable[H];
-  for (uint32_t Id : Bucket)
-    if (nodeEquals(Nodes[Id], Node))
-      return Re{Id};
-  uint32_t Id = static_cast<uint32_t>(Nodes.size());
-  Nodes.push_back(std::move(Node));
-  Bucket.push_back(Id);
+  Node.Hash = H;
+  uint32_t Id = ConsTable.findOrInsert(
+      H, [&](uint32_t Cand) { return nodeEquals(Nodes[Cand], Node); },
+      [&] {
+        uint32_t NewId = static_cast<uint32_t>(Nodes.size());
+        Nodes.push_back(std::move(Node));
+        return NewId;
+      },
+      Stats);
   return Re{Id};
+}
+
+void RegexManager::reserve(size_t NumNodes) {
+  Nodes.reserve(NumNodes);
+  ConsTable.reserve(NumNodes);
 }
 
 const CharSet &RegexManager::predSet(Re R) const {

@@ -27,11 +27,12 @@
 #define SBD_RE_REGEX_H
 
 #include "charset/CharSet.h"
+#include "support/CacheStats.h"
+#include "support/InternTable.h"
 
 #include <cstdint>
 #include <limits>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace sbd {
@@ -75,6 +76,7 @@ struct RegexNode {
   uint32_t Size;         ///< syntax-tree node count (shared nodes recounted)
   uint32_t NumPreds;     ///< ♯(R): predicate leaves in the syntax tree
   uint32_t StarHeight;   ///< nesting depth of * / unbounded loops
+  uint64_t Hash = 0;     ///< precomputed structural hash (interning key)
 };
 
 /// Arena + hash-consing table for regexes, and the home of the smart
@@ -142,6 +144,15 @@ public:
   /// Number of interned nodes (diagnostics).
   size_t numNodes() const { return Nodes.size(); }
 
+  /// --- Capacity & instrumentation -----------------------------------------
+
+  /// Pre-sizes the node arena and interning tables for roughly \p NumNodes
+  /// interned terms (avoids rehash/reallocation churn on large workloads).
+  void reserve(size_t NumNodes);
+  /// Interning/probe counters (see support/CacheStats.h).
+  const CacheStats &stats() const { return Stats; }
+  void resetStats() { Stats.reset(); }
+
   /// --- Structural properties (Theorem 7.3 side conditions) ----------------
 
   /// True when R contains no ⊥ subterm (predicates are never unsat by
@@ -178,9 +189,10 @@ private:
   void printPrec(Re R, int ParentPrec, std::string &Out) const;
 
   std::vector<RegexNode> Nodes;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> ConsTable;
+  InternTable ConsTable;
   std::vector<CharSet> Sets;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> SetTable;
+  InternTable SetTable;
+  CacheStats Stats;
 
   Re EmptyRe, EpsilonRe, AnyCharRe, TopRe;
 };

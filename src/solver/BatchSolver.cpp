@@ -1,0 +1,105 @@
+//===- solver/BatchSolver.cpp - Parallel batch solving front end ------------===//
+
+#include "solver/BatchSolver.h"
+
+#include "re/RegexParser.h"
+#include "solver/RegexSolver.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace sbd;
+
+namespace {
+
+/// One worker's thread-local solver stack. Members are constructed in
+/// declaration order, so the references wired through the constructors are
+/// valid; the struct is non-movable and lives behind a unique_ptr.
+struct WorkerStack {
+  RegexManager M;
+  TrManager T{M};
+  DerivativeEngine E{M, T};
+  RegexSolver S{E};
+
+  WorkerStack() = default;
+  WorkerStack(const WorkerStack &) = delete;
+  WorkerStack &operator=(const WorkerStack &) = delete;
+
+  /// Interning + memo counters accumulated in this stack so far.
+  CacheStats stats() const {
+    CacheStats Out;
+    Out += M.stats();
+    Out += T.stats();
+    Out += E.stats();
+    return Out;
+  }
+};
+
+/// Solves one query on the given stack.
+BatchResult solveOne(WorkerStack &W, const BatchQuery &Q) {
+  BatchResult Out;
+  RegexParseResult Parsed = parseRegex(W.M, Q.Pattern);
+  if (!Parsed.Ok) {
+    Out.ParseError = Parsed.Error;
+    Out.Result.Status = SolveStatus::Unsupported;
+    Out.Result.Note = "parse error: " + Parsed.Error;
+    return Out;
+  }
+  Out.ParseOk = true;
+  Out.Result = W.S.checkSat(Parsed.Value, Q.Opts);
+  return Out;
+}
+
+} // namespace
+
+std::vector<BatchResult>
+BatchSolver::solveAll(const std::vector<BatchQuery> &Queries) {
+  std::vector<BatchResult> Results(Queries.size());
+  Stats.reset();
+
+  // The work loop every worker runs: claim the next unprocessed query index
+  // and solve it on this worker's stack. Results are written to disjoint
+  // slots, so no synchronization beyond the claim counter is needed.
+  std::atomic<size_t> Next{0};
+  std::mutex StatsMutex;
+  auto workLoop = [&] {
+    auto W = std::make_unique<WorkerStack>();
+    CacheStats Local;
+    bool Dirty = false;
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+         I < Queries.size();
+         I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      bool Recycle =
+          Dirty &&
+          (!Opts.ReuseArenas ||
+           (Opts.ArenaNodeBudget && W->M.numNodes() > Opts.ArenaNodeBudget));
+      if (Recycle) {
+        Local += W->stats();
+        W = std::make_unique<WorkerStack>();
+      }
+      Results[I] = solveOne(*W, Queries[I]);
+      Dirty = true;
+    }
+    Local += W->stats();
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Stats += Local;
+  };
+
+  unsigned Threads = Opts.NumThreads;
+  if (Threads <= 1 || Queries.size() <= 1) {
+    workLoop();
+    return Results;
+  }
+  if (Threads > Queries.size())
+    Threads = static_cast<unsigned>(Queries.size());
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Pool.emplace_back(workLoop);
+  for (std::thread &Th : Pool)
+    Th.join();
+  return Results;
+}

@@ -1,0 +1,85 @@
+//===- solver/BatchSolver.h - Parallel batch solving front end --------------===//
+///
+/// \file
+/// Serving-stack front end: takes N independent regex satisfiability
+/// queries (surface-syntax patterns, so queries are self-contained and not
+/// tied to any caller-side arena) and fans them out over a small worker
+/// pool. Each worker owns a full thread-local solver stack — RegexManager,
+/// TrManager, DerivativeEngine, RegexSolver — so the hot path runs with
+/// zero locks and zero shared mutable state; handles never cross managers
+/// (the "thread-local arena rule", DESIGN.md §7).
+///
+/// Queries carry their own `SolveOptions` (deadline, state budget,
+/// strategy); results come back in input order regardless of scheduling.
+/// Verdicts and BFS witness lengths are deterministic across thread counts:
+/// by default every query solves on a freshly recycled arena, so no query
+/// can observe interning state left behind by another.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SOLVER_BATCHSOLVER_H
+#define SBD_SOLVER_BATCHSOLVER_H
+
+#include "solver/SolverResult.h"
+#include "support/CacheStats.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sbd {
+
+/// One independent satisfiability query.
+struct BatchQuery {
+  /// Extended regex in the surface syntax accepted by RegexParser.
+  std::string Pattern;
+  /// Per-query budget (deadline, state cap, search strategy).
+  SolveOptions Opts;
+};
+
+/// Result for one query, at the query's input position.
+struct BatchResult {
+  /// False when the pattern failed to parse; `ParseError` explains why and
+  /// `Result.Status` is Unsupported.
+  bool ParseOk = false;
+  std::string ParseError;
+  SolveResult Result;
+};
+
+/// Pool configuration.
+struct BatchOptions {
+  /// Worker threads; 0 or 1 solves inline on the calling thread.
+  unsigned NumThreads = 1;
+  /// When true, workers keep their arenas (and the persistent derivative
+  /// graph) warm across the queries they happen to process; dead-state
+  /// facts are reused, but interned ids then depend on that worker's query
+  /// history, so DFS exploration order (not verdicts) may vary. When false
+  /// (default), the arena stack is recycled before every query —
+  /// bitwise-deterministic and memory-bounded.
+  bool ReuseArenas = false;
+  /// With ReuseArenas: recycle a worker's stack once its regex arena
+  /// exceeds this many interned nodes (0 = never). Bounds memory in
+  /// long-running processes, as clearCaches() does for a single engine.
+  size_t ArenaNodeBudget = 1 << 20;
+};
+
+/// Fans independent queries over thread-local solver stacks.
+class BatchSolver {
+public:
+  explicit BatchSolver(BatchOptions Opts = {}) : Opts(Opts) {}
+
+  /// Solves all queries; `result[i]` answers `Queries[i]`.
+  std::vector<BatchResult> solveAll(const std::vector<BatchQuery> &Queries);
+
+  /// Aggregated interning/memo counters across all workers of the last
+  /// solveAll() call (regex arena + transition arena + engine memos).
+  const CacheStats &stats() const { return Stats; }
+
+private:
+  BatchOptions Opts;
+  CacheStats Stats;
+};
+
+} // namespace sbd
+
+#endif // SBD_SOLVER_BATCHSOLVER_H

@@ -1,0 +1,98 @@
+//===- support/CacheStats.h - Hot-path cache instrumentation ----------------===//
+///
+/// \file
+/// Counters for the interning/memoization layers the paper's complexity
+/// argument leans on (Theorem 7.1: derivatives are cheap *because* terms are
+/// hash-consed and δ/δdnf are memoized). Every arena and engine owns one
+/// `CacheStats`; the benchmark harness aggregates and prints them so that
+/// cache effectiveness is measured, not asserted.
+///
+/// Compile with `-DSBD_STATS=0` to strip every counter update; the
+/// `SBD_STATS_*` macros then expand to nothing and the struct stays as a
+/// zero-cost shell so call sites need no `#if` guards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SUPPORT_CACHESTATS_H
+#define SBD_SUPPORT_CACHESTATS_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#ifndef SBD_STATS
+#define SBD_STATS 1
+#endif
+
+#if SBD_STATS
+#define SBD_STATS_INC(Stats, Field) ((Stats).Field += 1)
+#define SBD_STATS_ADD(Stats, Field, N) ((Stats).Field += (N))
+#else
+#define SBD_STATS_INC(Stats, Field) ((void)0)
+#define SBD_STATS_ADD(Stats, Field, N) ((void)0)
+#endif
+
+namespace sbd {
+
+/// Hit/miss/probe counters for one interning table or memo cache owner.
+/// All counters are plain (non-atomic) — each arena is single-threaded by
+/// design (see DESIGN.md, "thread-local arena rule"); cross-thread
+/// aggregation happens only after workers join.
+struct CacheStats {
+  /// Hash-consing: structurally-equal node re-interned (no allocation).
+  uint64_t InternHits = 0;
+  /// Hash-consing: fresh node appended to the arena.
+  uint64_t InternMisses = 0;
+  /// Memoized δ/δdnf/negate/Brzozowski result served from a memo slot.
+  uint64_t MemoHits = 0;
+  /// Memo slot was empty; the result was computed and recorded.
+  uint64_t MemoMisses = 0;
+  /// Total open-addressing probe steps across all table lookups.
+  uint64_t ProbeSteps = 0;
+  /// Number of table lookups (probe-length denominator).
+  uint64_t Lookups = 0;
+
+  void reset() { *this = CacheStats(); }
+
+  CacheStats &operator+=(const CacheStats &O) {
+    InternHits += O.InternHits;
+    InternMisses += O.InternMisses;
+    MemoHits += O.MemoHits;
+    MemoMisses += O.MemoMisses;
+    ProbeSteps += O.ProbeSteps;
+    Lookups += O.Lookups;
+    return *this;
+  }
+
+  double internHitRate() const {
+    uint64_t Total = InternHits + InternMisses;
+    return Total ? static_cast<double>(InternHits) / Total : 0.0;
+  }
+  double memoHitRate() const {
+    uint64_t Total = MemoHits + MemoMisses;
+    return Total ? static_cast<double>(MemoHits) / Total : 0.0;
+  }
+  /// Mean probe steps per lookup (1.0 = every key found in its home slot).
+  double avgProbeLength() const {
+    return Lookups ? static_cast<double>(ProbeSteps) / Lookups : 0.0;
+  }
+
+  /// One-line human-readable rendering for benchmark output.
+  std::string summary() const {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "intern %llu/%llu (%.1f%% hit) memo %llu/%llu (%.1f%% hit) "
+                  "avg-probe %.2f",
+                  static_cast<unsigned long long>(InternHits),
+                  static_cast<unsigned long long>(InternHits + InternMisses),
+                  internHitRate() * 100.0,
+                  static_cast<unsigned long long>(MemoHits),
+                  static_cast<unsigned long long>(MemoHits + MemoMisses),
+                  memoHitRate() * 100.0, avgProbeLength());
+    return Buf;
+  }
+};
+
+} // namespace sbd
+
+#endif // SBD_SUPPORT_CACHESTATS_H

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace sbd;
 
 namespace {
@@ -240,5 +242,68 @@ TEST_P(RegexPropertyTest, NullabilityMatchesDeMorganOverCompl) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RegexPropertyTest,
                          ::testing::Range<uint64_t>(1, 41));
+
+/// Builds the I-th member of a family of pairwise-distinct regexes through
+/// several constructor shapes (stresses every interning path: Pred, Concat,
+/// Star, Loop, Union, Inter, Compl).
+Re stressRegex(RegexManager &M, uint32_t I) {
+  Re Digits = M.literal("k" + std::to_string(I));
+  Re Cls = M.pred(CharSet::range('a' + I % 20, 'a' + I % 20 + 5));
+  Re Shape;
+  switch (I % 4) {
+  case 0:
+    Shape = M.concat(Digits, M.star(Cls));
+    break;
+  case 1:
+    Shape = M.union_(Digits, M.loop(Cls, 1, 2 + I % 7));
+    break;
+  case 2:
+    Shape = M.inter(M.concat(Cls, Digits), M.top());
+    break;
+  default:
+    Shape = M.concat(M.complement(Digits), Cls);
+    break;
+  }
+  return Shape;
+}
+
+TEST(RegexInternStress, HundredThousandDistinctRebuildIsIdentity) {
+  // Guards the open-addressing interning table against collision and
+  // rehash bugs: 100k structurally distinct regexes, then an identical
+  // rebuild pass. Every rebuild must return the identical interned id and
+  // the arena must not grow by a single node.
+  constexpr uint32_t N = 100000;
+  RegexManager M;
+  std::vector<Re> First;
+  First.reserve(N);
+  for (uint32_t I = 0; I != N; ++I)
+    First.push_back(stressRegex(M, I));
+
+  // The family is pairwise distinct by construction (distinct literals).
+  std::vector<Re> Sorted = First;
+  std::sort(Sorted.begin(), Sorted.end());
+  ASSERT_EQ(std::adjacent_find(Sorted.begin(), Sorted.end()), Sorted.end())
+      << "stress family must be pairwise distinct";
+
+  size_t NodesAfterFirst = M.numNodes();
+  for (uint32_t I = 0; I != N; ++I)
+    ASSERT_EQ(stressRegex(M, I), First[I]) << "rebuild diverged at " << I;
+  EXPECT_EQ(M.numNodes(), NodesAfterFirst)
+      << "rebuilding equal terms must not intern new nodes";
+
+  // Interning ids are deterministic: a fresh manager fed the same build
+  // sequence assigns the same ids.
+  RegexManager M2;
+  for (uint32_t I = 0; I != N; ++I)
+    ASSERT_EQ(stressRegex(M2, I).Id, First[I].Id) << "id drift at " << I;
+}
+
+TEST(RegexInternStress, ReserveDoesNotDisturbInterning) {
+  RegexManager Plain, Reserved;
+  Reserved.reserve(1 << 18);
+  for (uint32_t I = 0; I != 5000; ++I)
+    ASSERT_EQ(stressRegex(Plain, I).Id, stressRegex(Reserved, I).Id);
+  EXPECT_EQ(Plain.numNodes(), Reserved.numNodes());
+}
 
 } // namespace
