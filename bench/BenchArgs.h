@@ -10,6 +10,13 @@
 ///   --threads <n>      worker threads for the batch-capable harnesses
 ///                      (default 1, which keeps single-thread figure
 ///                      outputs identical to the sequential path)
+///   --quick            smoke-test preset: tiny scale and short timeouts,
+///                      for CI and the stats-smoke step of check.sh
+///   --trace <file>     record a span timeline of the run and write it as
+///                      Chrome trace_event JSON (open in chrome://tracing
+///                      or Perfetto)
+///   --stats-json <file> write the merged counter registry plus the summed
+///                      per-query SolveStats as a flat JSON document
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,10 +24,13 @@
 #define SBD_BENCH_BENCHARGS_H
 
 #include "solver/SolverResult.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace sbd {
 
@@ -28,6 +38,9 @@ struct BenchArgs {
   double Scale = 0.05;
   uint64_t Seed = 2021;
   unsigned Threads = 1;
+  bool Quick = false;
+  std::string TraceFile;
+  std::string StatsJsonFile;
   SolveOptions Opts;
 
   static BenchArgs parse(int Argc, char **Argv) {
@@ -53,17 +66,90 @@ struct BenchArgs {
       else if (!std::strcmp(Argv[I], "--threads"))
         A.Threads =
             static_cast<unsigned>(std::strtoul(need("--threads"), nullptr, 10));
+      else if (!std::strcmp(Argv[I], "--quick")) {
+        A.Quick = true;
+        A.Scale = 0.01;
+        A.Opts.TimeoutMs = 100;
+      } else if (!std::strcmp(Argv[I], "--trace"))
+        A.TraceFile = need("--trace");
+      else if (!std::strcmp(Argv[I], "--stats-json"))
+        A.StatsJsonFile = need("--stats-json");
       else {
         std::fprintf(stderr,
                      "usage: %s [--scale f] [--timeout-ms n] "
-                     "[--max-states n] [--seed n] [--threads n]\n",
+                     "[--max-states n] [--seed n] [--threads n] [--quick] "
+                     "[--trace file] [--stats-json file]\n",
                      Argv[0]);
         std::exit(1);
       }
     }
     return A;
   }
+
+  /// Call before the measured work: resets the counter registry so the
+  /// stats dump covers exactly this run, and arms the tracer when --trace
+  /// was given.
+  void beginObservation() const {
+    obs::MetricsRegistry::global().reset();
+    if (!TraceFile.empty())
+      obs::Tracer::global().start();
+  }
+
+  /// Call after the measured work (worker threads joined): writes the
+  /// Chrome trace and/or the stats JSON when requested. \p Aggregate is
+  /// the per-query SolveStats summed over the run. Returns false if any
+  /// requested output could not be written.
+  bool endObservation(const SolveStats &Aggregate) const {
+    bool Ok = true;
+    if (!TraceFile.empty()) {
+      obs::Tracer::global().stop();
+      if (obs::Tracer::global().writeChromeTrace(TraceFile)) {
+        std::printf("trace: wrote %zu events to %s\n",
+                    obs::Tracer::global().eventCount(), TraceFile.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     TraceFile.c_str());
+        Ok = false;
+      }
+    }
+    if (!StatsJsonFile.empty()) {
+      std::string Doc = "{\n  \"counters\": ";
+      Doc += obs::MetricsRegistry::global().snapshot().json();
+      Doc += ",\n  \"aggregate\": ";
+      Doc += Aggregate.json();
+      Doc += "\n}\n";
+      std::FILE *F = std::fopen(StatsJsonFile.c_str(), "w");
+      if (F) {
+        std::fwrite(Doc.data(), 1, Doc.size(), F);
+        std::fclose(F);
+        std::printf("stats: wrote %s\n", StatsJsonFile.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write stats to %s\n",
+                     StatsJsonFile.c_str());
+        Ok = false;
+      }
+    }
+    return Ok;
+  }
 };
+
+/// Prints the standard per-phase breakdown table for a run whose summed
+/// per-query stats are \p Agg.
+inline void printPhaseTable(const SolveStats &Agg) {
+  auto Ms = [](int64_t Us) { return static_cast<double>(Us) / 1000.0; };
+  std::printf("phase breakdown (summed over queries):\n");
+  std::printf("  %-8s %10s\n", "phase", "time(ms)");
+  std::printf("  %-8s %10.1f\n", "parse", Ms(Agg.ParseUs));
+  std::printf("  %-8s %10.1f\n", "derive", Ms(Agg.DeriveUs));
+  std::printf("  %-8s %10.1f\n", "dnf", Ms(Agg.DnfUs));
+  std::printf("  %-8s %10.1f\n", "search", Ms(Agg.SearchUs));
+  std::printf("  %-8s %10.1f\n", "total", Ms(Agg.TotalUs));
+  std::printf("  derivatives=%llu dnf-calls=%llu arcs=%llu minterms=%llu\n",
+              static_cast<unsigned long long>(Agg.DerivativeCalls),
+              static_cast<unsigned long long>(Agg.DnfCalls),
+              static_cast<unsigned long long>(Agg.ArcsEnumerated),
+              static_cast<unsigned long long>(Agg.MintermsProduced));
+}
 
 } // namespace sbd
 

@@ -53,13 +53,16 @@ int main(int Argc, char **Argv) {
   Opts.NumThreads = Args.Threads;
   BatchSolver Solver(Opts);
 
+  Args.beginObservation();
   Stopwatch Watch;
   std::vector<BatchResult> Results = Solver.solveAll(Queries);
   double WallSec = Watch.elapsedSec();
 
   size_t Sat = 0, Unsat = 0, Unknown = 0, ParseFail = 0;
   double SolveMs = 0;
+  SolveStats Agg;
   for (const BatchResult &R : Results) {
+    Agg += R.Result.Stats;
     if (!R.ParseOk) {
       ++ParseFail;
       continue;
@@ -87,5 +90,6 @@ int main(int Argc, char **Argv) {
   std::printf("wall=%.3fs cpu-solve=%.1fms throughput=%.1f q/s\n", WallSec,
               SolveMs, WallSec > 0 ? Queries.size() / WallSec : 0.0);
   std::printf("cache: %s\n", Solver.stats().summary().c_str());
-  return 0;
+  printPhaseTable(Agg);
+  return Args.endObservation(Agg) ? 0 : 1;
 }

@@ -33,6 +33,7 @@ struct GroupStats {
   double DirectMs = 0;
   double ViaSmtMs = 0;
   CacheStats Cache;
+  SolveStats Work; ///< summed per-query stats of the direct path
 };
 
 GroupStats runGroup(const std::vector<BenchSuite> &Suites,
@@ -59,9 +60,11 @@ GroupStats runGroup(const std::vector<BenchSuite> &Suites,
   BatchSolver Batch(BatchOpts);
   std::vector<BatchResult> Direct = Batch.solveAll(Queries);
   Stats.Cache += Batch.stats();
-  for (const BatchResult &R : Direct)
+  for (const BatchResult &R : Direct) {
+    Stats.Work += R.Result.Stats;
     if (R.ParseOk)
       Stats.DirectMs += static_cast<double>(R.Result.TimeUs) / 1000.0;
+  }
 
   // Via-SMT path: render each instance to an SMT-LIB script and solve it
   // through the full parse → compile → enumerate front end (sequential;
@@ -111,13 +114,16 @@ int main(int Argc, char **Argv) {
   Groups.push_back({"B", booleanSuites(Args.Scale, Args.Seed)});
   Groups.push_back({"H", handwrittenSuites()});
 
+  Args.beginObservation();
   std::printf("== Full-stack SMT front end vs direct solver ==\n");
   std::printf("scale=%.3f timeout=%lldms threads=%u\n\n", Args.Scale,
               static_cast<long long>(Args.Opts.TimeoutMs), Args.Threads);
   std::printf("%-4s %7s %8s %8s %12s %12s %10s\n", "grp", "total", "agree",
               "unknown", "direct(ms)", "via-smt(ms)", "overhead");
+  SolveStats Agg;
   for (const Group &G : Groups) {
     GroupStats S = runGroup(G.Suites, Args.Opts, Args.Threads);
+    Agg += S.Work;
     double Overhead =
         S.DirectMs > 0 ? (S.ViaSmtMs - S.DirectMs) / S.DirectMs * 100.0 : 0;
     std::printf("%-4s %7zu %8zu %8zu %12.1f %12.1f %9.1f%%\n", G.Name,
@@ -125,8 +131,10 @@ int main(int Argc, char **Argv) {
                 Overhead);
     std::printf("     cache: %s\n", S.Cache.summary().c_str());
   }
+  std::printf("\n");
+  printPhaseTable(Agg);
   std::printf("\nagree counts instances where the script path and the\n"
               "direct path return the same sat/unsat verdict (they must,\n"
               "modulo budget); overhead is the front end's relative cost.\n");
-  return 0;
+  return Args.endObservation(Agg) ? 0 : 1;
 }

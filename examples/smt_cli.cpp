@@ -65,8 +65,13 @@ int main(int Argc, char **Argv) {
                   Value.c_str());
     std::printf(")\n");
   }
+  if (R.Status != SolveStatus::Sat && R.Status != SolveStatus::Unsat &&
+      R.Stop != StopReason::None)
+    std::printf("; stop reason: %s\n", stopReasonName(R.Stop));
   if (!R.Note.empty())
     std::printf("; note: %s\n", R.Note.c_str());
+  if (!R.Statistics.empty())
+    std::printf("%s\n", R.Statistics.c_str());
   if (R.ExpectedSat.has_value()) {
     bool Agrees = (R.Status == SolveStatus::Sat && *R.ExpectedSat) ||
                   (R.Status == SolveStatus::Unsat && !*R.ExpectedSat);

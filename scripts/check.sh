@@ -20,9 +20,40 @@ done
 # Release-mode bench smoke: catches perf-path regressions that only compile
 # (or only crash) under optimization, and keeps the --quick flag working.
 cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release --target bench_micro bench_batch
+cmake --build build-release --target bench_micro bench_batch bench_smt_corpus
 build-release/bench/bench_micro --quick
 build-release/bench/bench_batch --threads 2 --scale 0.02
+
+# Stats smoke: the observability outputs must stay valid JSON with the
+# documented keys (DESIGN.md §8).
+build-release/bench/bench_smt_corpus --quick --trace /tmp/sbd-trace.json \
+  --stats-json /tmp/sbd-stats.json
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+trace = json.load(open("/tmp/sbd-trace.json"))
+assert trace["traceEvents"], "empty traceEvents"
+assert all(k in trace["traceEvents"][0] for k in ("name", "ph", "ts", "dur"))
+stats = json.load(open("/tmp/sbd-stats.json"))
+for key in ("derivative_calls", "dnf_calls", "memo_hits", "solve_time_us"):
+    assert key in stats["counters"], key
+for key in ("parse_us", "derive_us", "dnf_us", "search_us", "total_us"):
+    assert key in stats["aggregate"], key
+print("stats smoke ok")
+EOF
+else
+  grep -q '"traceEvents"' /tmp/sbd-trace.json
+  grep -q '"derivative_calls"' /tmp/sbd-stats.json
+  grep -q '"search_us"' /tmp/sbd-stats.json
+fi
+
+# The observability layer must also compile out cleanly: tests must still
+# pass with every counter bump and span stripped (-DSBD_OBS=OFF).
+cmake -B build-obs0 -G Ninja -DSBD_OBS=OFF
+cmake --build build-obs0 --target solver_test obs_test batch_solver_test \
+  smt_test
+ctest --test-dir build-obs0 -R 'Solver|Obs|Metrics|Tracer|Batch|Smt' \
+  --output-on-failure
 
 # ThreadSanitizer build of the parallel front end: the batch solver is the
 # only component that spawns threads, so only its tests need the TSan run.

@@ -148,6 +148,7 @@ SolveResult EagerSolver::solve(Re R, const SolveOptions &Opts) {
   auto A = compileNfa(R, Opts.MaxStates, TimedOut);
   if (!A) {
     Result.Status = SolveStatus::Unknown;
+    Result.Stop = TimedOut ? StopReason::Timeout : StopReason::StateBudget;
     Result.Note = TimedOut ? "timeout" : "state budget exhausted";
     Result.StatesExplored = StatesBuilt;
     Result.TimeUs = Watch.elapsedUs();

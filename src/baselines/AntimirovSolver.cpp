@@ -154,6 +154,7 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
 
   if (containsComplement(M, R)) {
     Result.Status = SolveStatus::Unsupported;
+    Result.Stop = StopReason::UnsupportedFragment;
     Result.Note = "complement is outside the partial-derivative fragment";
     return Result;
   }
@@ -191,12 +192,14 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
   while (!Queue.empty()) {
     if (Opts.MaxStates && Visited.size() > Opts.MaxStates) {
       Result.Status = SolveStatus::Unknown;
+      Result.Stop = StopReason::StateBudget;
       Result.Note = "state budget exhausted";
       break;
     }
     if (Opts.TimeoutMs > 0 && (++Steps & 0x3F) == 0 &&
         Timer.elapsedMs() > Opts.TimeoutMs) {
       Result.Status = SolveStatus::Unknown;
+      Result.Stop = StopReason::Timeout;
       Result.Note = "timeout";
       break;
     }
@@ -205,6 +208,7 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
     std::vector<LinearArc> Arcs;
     if (!linearForm(M, Cur, Arcs)) {
       Result.Status = SolveStatus::Unsupported;
+      Result.Stop = StopReason::UnsupportedFragment;
       Result.Note = "complement is outside the partial-derivative fragment";
       Result.StatesExplored = Visited.size();
       Result.TimeUs = Timer.elapsedUs();

@@ -59,6 +59,7 @@ SolveResult BrzozowskiMintermSolver::solve(Re R, const SolveOptions &Opts) {
   while (!Queue.empty()) {
     if (Opts.MaxStates && Visited.size() > Opts.MaxStates) {
       Result.Status = SolveStatus::Unknown;
+      Result.Stop = StopReason::StateBudget;
       Result.Note = "state budget exhausted";
       Result.StatesExplored = Visited.size();
       Result.TimeUs = Timer.elapsedUs();
@@ -67,6 +68,7 @@ SolveResult BrzozowskiMintermSolver::solve(Re R, const SolveOptions &Opts) {
     if (Opts.TimeoutMs > 0 && (++Steps & 0x0F) == 0 &&
         Timer.elapsedMs() > Opts.TimeoutMs) {
       Result.Status = SolveStatus::Unknown;
+      Result.Stop = StopReason::Timeout;
       Result.Note = "timeout";
       Result.StatesExplored = Visited.size();
       Result.TimeUs = Timer.elapsedUs();

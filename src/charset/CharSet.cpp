@@ -3,6 +3,7 @@
 #include "charset/CharSet.h"
 
 #include "support/Hashing.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <map>
@@ -224,6 +225,7 @@ std::string CharSet::str() const {
 }
 
 std::vector<CharSet> sbd::computeMinterms(const std::vector<CharSet> &Sets) {
+  SBD_OBS_INC(MintermComputations);
   // Boundary sweep: split the domain at every interval start and one-past-end
   // point, then group elementary segments by their membership signature.
   std::vector<uint32_t> Bounds;
@@ -254,5 +256,6 @@ std::vector<CharSet> sbd::computeMinterms(const std::vector<CharSet> &Sets) {
   Out.reserve(Groups.size());
   for (auto &[Sig, Rs] : Groups)
     Out.push_back(CharSet::fromRanges(std::move(Rs)));
+  SBD_OBS_ADD(MintermsProduced, Out.size());
   return Out;
 }

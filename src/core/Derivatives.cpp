@@ -3,11 +3,13 @@
 #include "core/Derivatives.h"
 
 #include "support/Debug.h"
+#include "support/Stopwatch.h"
 #include "support/Unicode.h"
 
 using namespace sbd;
 
 Tr DerivativeEngine::derivative(Re R) {
+  SBD_OBS_INC(DerivativeCalls);
   if (R.Id < DerivMemo.size() && DerivMemo[R.Id] != MissingId) {
     SBD_STATS_INC(Stats, MemoHits);
     return Tr{DerivMemo[R.Id]};
@@ -76,12 +78,26 @@ Tr DerivativeEngine::derivative(Re R) {
 }
 
 Tr DerivativeEngine::derivativeDnf(Re R) {
+  SBD_OBS_INC(DnfCalls);
   if (R.Id < DnfMemo.size() && DnfMemo[R.Id] != MissingId) {
     SBD_STATS_INC(Stats, MemoHits);
     return Tr{DnfMemo[R.Id]};
   }
   SBD_STATS_INC(Stats, MemoMisses);
+  // Phase attribution on the miss path only: memo hits stay a bare table
+  // lookup, while misses do real work that dwarfs the two clock reads.
+  // DNF work triggered *inside* δ (the lift rule of concatRe) lands in the
+  // derive bucket — documented in DESIGN.md §8.
+#if SBD_OBS
+  Stopwatch PhaseTimer;
+  Tr D = derivative(R);
+  SBD_OBS_ADD(DeriveTimeUs, PhaseTimer.elapsedUs());
+  PhaseTimer.reset();
+  Tr Result = T.dnf(D);
+  SBD_OBS_ADD(DnfTimeUs, PhaseTimer.elapsedUs());
+#else
   Tr Result = T.dnf(derivative(R));
+#endif
   if (DnfMemo.size() <= R.Id)
     DnfMemo.resize(M.numNodes(), MissingId);
   DnfMemo[R.Id] = Result.Id;
@@ -97,6 +113,7 @@ void DerivativeEngine::clearCaches() {
 
 Re DerivativeEngine::brzozowski(Re R, uint32_t Ch) {
   // (id, char) memo: repeated matching walks the same derivative chains.
+  SBD_OBS_INC(BrzozowskiCalls);
   assert(Ch <= MaxCodePoint && "character outside the code-point domain");
   uint64_t Key = (static_cast<uint64_t>(R.Id) << 21) | Ch;
   if (const uint32_t *Hit = BrzMemo.find(Key)) {

@@ -265,10 +265,17 @@ Tr TrManager::dnfUnder(Tr T, const CharSet &Path) {
     Tr Then = N.Kids[0], Else = N.Kids[1];
     CharSet PathT = Path.intersectWith(Cond);
     CharSet PathF = Path.minus(Cond);
-    if (PathT.isEmpty())
+    if (PathT.isEmpty()) {
+      SBD_OBS_INC(DnfBranchesPruned);
+      SBD_OBS_INC(DnfBranchesExplored);
       return dnfUnder(Else, Path); // the then-branch is dead here
-    if (PathF.isEmpty())
+    }
+    if (PathF.isEmpty()) {
+      SBD_OBS_INC(DnfBranchesPruned);
+      SBD_OBS_INC(DnfBranchesExplored);
       return dnfUnder(Then, Path); // the else-branch is dead here
+    }
+    SBD_OBS_ADD(DnfBranchesExplored, 2);
     return ite(Cond, dnfUnder(Then, PathT), dnfUnder(Else, PathF));
   }
   case TrKind::Union: {
@@ -327,10 +334,17 @@ Tr TrManager::interDnf(Tr A, Tr B, const CharSet &Path) {
     Tr Then = N.Kids[0], Else = N.Kids[1];
     CharSet PathT = Path.intersectWith(Cond);
     CharSet PathF = Path.minus(Cond);
-    if (PathT.isEmpty())
+    if (PathT.isEmpty()) {
+      SBD_OBS_INC(DnfBranchesPruned);
+      SBD_OBS_INC(DnfBranchesExplored);
       return interDnf(Else, B, Path);
-    if (PathF.isEmpty())
+    }
+    if (PathF.isEmpty()) {
+      SBD_OBS_INC(DnfBranchesPruned);
+      SBD_OBS_INC(DnfBranchesExplored);
       return interDnf(Then, B, Path);
+    }
+    SBD_OBS_ADD(DnfBranchesExplored, 2);
     return ite(Cond, interDnf(Then, B, PathT), interDnf(Else, B, PathF));
   }
   case TrKind::Union: {
@@ -421,6 +435,7 @@ std::vector<TrArc> TrManager::arcs(Tr T) const {
     else
       Out[It->second].Guard = Out[It->second].Guard.unionWith(A.Guard);
   }
+  SBD_OBS_ADD(ArcsEnumerated, Out.size());
   return Out;
 }
 

@@ -27,7 +27,7 @@
 #define SBD_RE_REGEX_H
 
 #include "charset/CharSet.h"
-#include "support/CacheStats.h"
+#include "support/Metrics.h"
 #include "support/InternTable.h"
 
 #include <cstdint>

@@ -3,6 +3,7 @@
 #include "smt/SmtSolver.h"
 
 #include "smt/SmtPrinter.h"
+#include "support/Trace.h"
 #include "support/Unicode.h"
 
 #include <algorithm>
@@ -29,10 +30,12 @@ public:
     SExprParseResult Parsed = parseSExprs(Text);
     if (!Parsed.Ok) {
       Result.Status = SolveStatus::Unsupported;
+      Result.Stop = StopReason::ParseError;
       Result.Note = "parse error: " + Parsed.Error;
       return Result;
     }
     std::vector<BE> Assertions;
+    bool Solved = false;
     for (const SExpr &Form : Parsed.Forms) {
       if (Aborted)
         return Result;
@@ -43,6 +46,17 @@ public:
         handleSetInfo(Form);
         continue;
       }
+      if (Head.isSymbol("get-info")) {
+        // (get-info :statistics) — rendered from the work done so far, so
+        // it must follow the check-sat it reports on.
+        if (Form.Kids.size() == 2 && Form.Kids[1].isSymbol(":statistics"))
+          Result.Statistics = renderStatistics();
+        continue;
+      }
+      // After the solve, remaining forms are only scanned for get-info
+      // (handled above) — they must not disturb the verdict.
+      if (Solved)
+        continue;
       if (Head.isSymbol("declare-fun") || Head.isSymbol("declare-const")) {
         handleDeclare(Form);
         continue;
@@ -54,9 +68,13 @@ public:
         continue;
       }
       if (Head.isSymbol("check-sat")) {
-        if (!Aborted)
+        // Solve once; keep scanning so a trailing (get-info :statistics)
+        // can report on this solve.
+        if (!Aborted && !Solved) {
           solve(Assertions);
-        return Result;
+          Solved = true;
+        }
+        continue;
       }
       // set-logic, set-option, get-model, get-value, echo, exit: no-ops.
       if (Head.isSymbol("set-logic") || Head.isSymbol("set-option") ||
@@ -67,7 +85,7 @@ public:
         return unsupported("incremental scripts are not supported");
     }
     // Script without check-sat: solve what we have.
-    if (!Aborted)
+    if (!Aborted && !Solved)
       solve(Assertions);
     return Result;
   }
@@ -79,6 +97,7 @@ private:
   BoolExprManager B;
   SmtResult Result;
   bool Aborted = false;
+  uint64_t RegexQueries = 0;
 
   std::set<std::string> StringVars;
   std::vector<Atom> Atoms;
@@ -93,9 +112,40 @@ private:
     if (!Aborted) {
       Aborted = true;
       Result.Status = SolveStatus::Unsupported;
+      Result.Stop = StopReason::UnsupportedFragment;
       Result.Note = Why;
     }
     return Result;
+  }
+
+  /// Z3-style keyword list answering (get-info :statistics), built from
+  /// the accumulated per-sub-query SolveStats.
+  std::string renderStatistics() const {
+    const SolveStats &St = Result.Stats;
+    auto Ull = [](uint64_t V) { return std::to_string(V); };
+    std::string Out = "(";
+    Out += ":cubes-tried " + Ull(Result.CubesTried);
+    Out += "\n :regex-queries " + Ull(RegexQueries);
+    Out += "\n :derivative-calls " + Ull(St.DerivativeCalls);
+    Out += "\n :dnf-calls " + Ull(St.DnfCalls);
+    Out += "\n :dnf-branches-explored " + Ull(St.DnfBranchesExplored);
+    Out += "\n :dnf-branches-pruned " + Ull(St.DnfBranchesPruned);
+    Out += "\n :arcs-enumerated " + Ull(St.ArcsEnumerated);
+    Out += "\n :minterm-computations " + Ull(St.MintermComputations);
+    Out += "\n :minterms-produced " + Ull(St.MintermsProduced);
+    Out += "\n :intern-hits " + Ull(St.InternHits);
+    Out += "\n :intern-misses " + Ull(St.InternMisses);
+    Out += "\n :memo-hits " + Ull(St.MemoHits);
+    Out += "\n :memo-misses " + Ull(St.MemoMisses);
+    Out += "\n :arena-nodes " + Ull(St.ArenaNodes);
+    Out += "\n :peak-frontier " + Ull(St.PeakFrontier);
+    Out += "\n :solver-steps " + Ull(St.SolverSteps);
+    Out += "\n :derive-time-us " + std::to_string(St.DeriveUs);
+    Out += "\n :dnf-time-us " + std::to_string(St.DnfUs);
+    Out += "\n :search-time-us " + std::to_string(St.SearchUs);
+    Out += "\n :solve-time-us " + std::to_string(St.TotalUs);
+    Out += ")";
+    return Out;
   }
 
   void handleSetInfo(const SExpr &Form) {
@@ -546,6 +596,8 @@ private:
     std::vector<std::pair<std::string, std::string>> Model;
     for (const auto &[Var, Literals] : PerVar) {
       SolveResult R = Solver.checkMembership(Literals, Opts);
+      Result.Stats += R.Stats;
+      ++RegexQueries;
       if (R.Status == SolveStatus::Unknown) {
         SawUnknown = true;
         return false;
@@ -632,12 +684,15 @@ private:
     std::map<uint32_t, bool> Assign;
     bool Found = enumerate({Formula}, 0, Assign, SawUnknown, CubesTried,
                            MaxCubes);
+    Result.CubesTried = CubesTried;
     if (Found) {
       Result.Status = SolveStatus::Sat;
       return;
     }
     if (SawUnknown || CubesTried >= MaxCubes) {
       Result.Status = SolveStatus::Unknown;
+      Result.Stop = SawUnknown ? StopReason::SubqueryUnknown
+                               : StopReason::CubeBudget;
       Result.Note = SawUnknown ? "regex query budget exhausted"
                                : "implicant budget exhausted";
       return;
@@ -650,6 +705,9 @@ private:
 
 SmtResult SmtSolver::solveScript(const std::string &Script,
                                  const SolveOptions &Opts) {
+  obs::ScopedSpan Span("solveScript", "smt");
   class Script Ctx(Solver, Opts);
-  return Ctx.run(Script);
+  SmtResult R = Ctx.run(Script);
+  Span.arg("status", std::string(statusName(R.Status)));
+  return R;
 }

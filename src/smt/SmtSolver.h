@@ -37,10 +37,20 @@ struct SmtResult {
   SolveStatus Status = SolveStatus::Unknown;
   /// Variable assignment (UTF-8 values) when Sat.
   std::vector<std::pair<std::string, std::string>> Model;
+  /// Machine-readable cause of an Unknown/Unsupported verdict.
+  StopReason Stop = StopReason::None;
   /// Diagnostics for Unknown/Unsupported.
   std::string Note;
   /// The `(set-info :status …)` label, when present.
   std::optional<bool> ExpectedSat;
+  /// Work attribution summed over every regex sub-query the script ran,
+  /// plus the implicant count in CubesTried.
+  SolveStats Stats;
+  /// Number of implicants (cubes) the Boolean skeleton enumeration tried.
+  size_t CubesTried = 0;
+  /// Rendered answer to `(get-info :statistics)`, when the script asked
+  /// for it (Z3-style keyword list).
+  std::string Statistics;
 };
 
 /// SMT-LIB driver on top of the symbolic-Boolean-derivative regex solver.

@@ -4,6 +4,8 @@
 
 #include "re/RegexParser.h"
 #include "solver/RegexSolver.h"
+#include "support/Stopwatch.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <memory>
@@ -40,15 +42,26 @@ struct WorkerStack {
 /// Solves one query on the given stack.
 BatchResult solveOne(WorkerStack &W, const BatchQuery &Q) {
   BatchResult Out;
+  obs::ScopedSpan Span("query", "batch");
+  Span.arg("pattern", Q.Pattern);
+  Stopwatch ParseTimer;
   RegexParseResult Parsed = parseRegex(W.M, Q.Pattern);
+  int64_t ParseUs = ParseTimer.elapsedUs();
+  SBD_OBS_ADD(ParseTimeUs, ParseUs);
   if (!Parsed.Ok) {
     Out.ParseError = Parsed.Error;
     Out.Result.Status = SolveStatus::Unsupported;
+    Out.Result.Stop = StopReason::ParseError;
     Out.Result.Note = "parse error: " + Parsed.Error;
+    Out.Result.Stats.ParseUs = ParseUs;
+    Out.Result.Stats.TotalUs = ParseUs;
     return Out;
   }
   Out.ParseOk = true;
   Out.Result = W.S.checkSat(Parsed.Value, Q.Opts);
+  Out.Result.Stats.ParseUs = ParseUs;
+  Out.Result.Stats.TotalUs += ParseUs;
+  Out.Result.TimeUs += ParseUs;
   return Out;
 }
 

@@ -21,7 +21,7 @@
 #define SBD_SOLVER_BATCHSOLVER_H
 
 #include "solver/SolverResult.h"
-#include "support/CacheStats.h"
+#include "support/Metrics.h"
 
 #include <cstddef>
 #include <string>

@@ -3,6 +3,7 @@
 #include "solver/RegexSolver.h"
 
 #include "support/Stopwatch.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <deque>
@@ -24,6 +25,72 @@ struct Reached {
 SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
   Stopwatch Timer;
   SolveResult Result;
+  obs::ScopedSpan Span("checkSat", "solver");
+
+  // Per-query attribution: queries never migrate threads, so the diff of
+  // this thread's metric shard (and of the owning arenas' cache counters)
+  // over the query is exactly this query's work.
+#if SBD_OBS
+  const obs::MetricShard ShardBefore = obs::tlsShard();
+#endif
+  CacheStats CacheBefore = M.stats();
+  CacheBefore += T.stats();
+  CacheBefore += Engine.stats();
+  const size_t NodesBefore = M.numNodes() + T.numNodes();
+
+  size_t Steps = 0;
+  uint64_t TimeoutChecks = 0;
+  size_t PeakFrontier = 0;
+
+  /// Fills Result.Stats/TimeUs; every return path goes through here.
+  auto finalize = [&] {
+    Result.TimeUs = Timer.elapsedUs();
+    SolveStats &St = Result.Stats;
+    St.TotalUs = Result.TimeUs;
+    St.SolverSteps = Steps;
+    St.TimeoutChecks = TimeoutChecks;
+    St.PeakFrontier = PeakFrontier;
+    CacheStats CacheDiff = M.stats();
+    CacheDiff += T.stats();
+    CacheDiff += Engine.stats();
+    CacheDiff.InternHits -= CacheBefore.InternHits;
+    CacheDiff.InternMisses -= CacheBefore.InternMisses;
+    CacheDiff.MemoHits -= CacheBefore.MemoHits;
+    CacheDiff.MemoMisses -= CacheBefore.MemoMisses;
+    CacheDiff.ProbeSteps -= CacheBefore.ProbeSteps;
+    CacheDiff.Lookups -= CacheBefore.Lookups;
+    St.InternHits = CacheDiff.InternHits;
+    St.InternMisses = CacheDiff.InternMisses;
+    St.MemoHits = CacheDiff.MemoHits;
+    St.MemoMisses = CacheDiff.MemoMisses;
+    St.ArenaNodes = M.numNodes() + T.numNodes() - NodesBefore;
+#if SBD_OBS
+    obs::MetricShard Diff = obs::tlsShard().since(ShardBefore);
+    St.DerivativeCalls = Diff.get(obs::Counter::DerivativeCalls);
+    St.DnfCalls = Diff.get(obs::Counter::DnfCalls);
+    St.BrzozowskiCalls = Diff.get(obs::Counter::BrzozowskiCalls);
+    St.DnfBranchesExplored = Diff.get(obs::Counter::DnfBranchesExplored);
+    St.DnfBranchesPruned = Diff.get(obs::Counter::DnfBranchesPruned);
+    St.ArcsEnumerated = Diff.get(obs::Counter::ArcsEnumerated);
+    St.MintermComputations = Diff.get(obs::Counter::MintermComputations);
+    St.MintermsProduced = Diff.get(obs::Counter::MintermsProduced);
+    St.DeriveUs = static_cast<int64_t>(Diff.get(obs::Counter::DeriveTimeUs));
+    St.DnfUs = static_cast<int64_t>(Diff.get(obs::Counter::DnfTimeUs));
+    int64_t Attributed = St.DeriveUs + St.DnfUs;
+    St.SearchUs = St.TotalUs > Attributed ? St.TotalUs - Attributed : 0;
+    // Fold this query's contribution into the process-wide registry under
+    // the unified counter names.
+    obs::MetricShard &Shard = obs::tlsShard();
+    CacheDiff.foldInto(Shard);
+    Shard.add(obs::Counter::SolverSteps, Steps);
+    Shard.add(obs::Counter::TimeoutChecks, TimeoutChecks);
+    Shard.add(obs::Counter::QueriesSolved, 1);
+    Shard.add(obs::Counter::SolveTimeUs, static_cast<uint64_t>(St.TotalUs));
+    Shard.add(obs::Counter::SearchTimeUs, static_cast<uint64_t>(St.SearchUs));
+#endif
+    Span.arg("status", std::string(statusName(Result.Status)));
+    Span.arg("states", static_cast<uint64_t>(Result.StatesExplored));
+  };
 
   // Breadth-first unfolding of the der/ite/or/ere rules. Each queue entry is
   // a regex goal for some suffix s_k.. of the string; depth = k.
@@ -45,7 +112,7 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
     Result.Status = SolveStatus::Sat;
     Result.Witness = std::move(Word);
     Result.StatesExplored = Visited.size();
-    Result.TimeUs = Timer.elapsedUs();
+    finalize();
     return Result;
   };
 
@@ -58,22 +125,54 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
   if (Graph.isDead(R)) {
     // bot rule: r was already proven a dead end by an earlier query.
     Result.Status = SolveStatus::Unsat;
-    Result.TimeUs = Timer.elapsedUs();
+    Result.StatesExplored = Visited.size();
+    finalize();
     return Result;
   }
   Queue.push_back(R);
 
-  size_t Steps = 0;
+  // Deadline discipline: the clock is read every (CheckMask+1) steps, and
+  // the mask adapts — when the gap between two reads exceeds the target
+  // slice (an eighth of the budget, capped at 10ms) the mask halves, so
+  // slow derivative steps tighten the checking cadence instead of letting
+  // the query overshoot its budget; fast steps relax it back toward 1/64.
+  // Large DNF expansions additionally force an immediate check.
+  const int64_t BudgetUs = Opts.TimeoutMs > 0 ? Opts.TimeoutMs * 1000 : 0;
+  const int64_t SliceUs =
+      BudgetUs > 0 ? std::max<int64_t>(
+                         100, std::min<int64_t>(BudgetUs / 8, 10000))
+                   : 0;
+  uint64_t CheckMask = 0x3F;
+  int64_t LastCheckUs = 0;
+  auto timeExpired = [&]() -> bool {
+    if (BudgetUs <= 0)
+      return false;
+    ++TimeoutChecks;
+    int64_t Now = Timer.elapsedUs();
+    int64_t SinceLast = Now - LastCheckUs;
+    LastCheckUs = Now;
+    if (SinceLast > SliceUs)
+      CheckMask >>= 1;
+    else if (SinceLast * 4 < SliceUs && CheckMask < 0x3F)
+      CheckMask = CheckMask * 2 + 1;
+    return Now >= BudgetUs;
+  };
+  /// Arc-count threshold above which an expansion forces a clock check.
+  constexpr size_t BigExpansion = 16;
+
   while (!Queue.empty()) {
-    // Budget checks (time checked periodically to keep it off the hot path).
+    if (Queue.size() > PeakFrontier)
+      PeakFrontier = Queue.size();
+    // Budget checks (time checked adaptively to keep it off the hot path).
     if (Opts.MaxStates && Visited.size() > Opts.MaxStates) {
       Result.Status = SolveStatus::Unknown;
+      Result.Stop = StopReason::StateBudget;
       Result.Note = "state budget exhausted";
       break;
     }
-    if (Opts.TimeoutMs > 0 && (++Steps & 0x3F) == 0 &&
-        Timer.elapsedMs() > Opts.TimeoutMs) {
+    if ((++Steps & CheckMask) == 0 && timeExpired()) {
       Result.Status = SolveStatus::Unknown;
+      Result.Stop = StopReason::Timeout;
       Result.Note = "timeout";
       break;
     }
@@ -89,6 +188,12 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
     // der rule, |s| > 0 case: unfold δdnf(Cur) and upd the graph.
     Tr Dnf = Engine.derivativeDnf(Cur);
     std::vector<TrArc> Arcs = T.arcs(Dnf);
+    if (Arcs.size() >= BigExpansion && timeExpired()) {
+      Result.Status = SolveStatus::Unknown;
+      Result.Stop = StopReason::Timeout;
+      Result.Note = "timeout";
+      break;
+    }
     if (Opts.PreferSimplerArcs) {
       // DFS pops from the back, so order large-to-small to explore the
       // syntactically smallest residue first; BFS gains the same bias in
@@ -127,7 +232,7 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
 
   if (Result.Status == SolveStatus::Unknown && !Result.Note.empty()) {
     Result.StatesExplored = Visited.size();
-    Result.TimeUs = Timer.elapsedUs();
+    finalize();
     return Result;
   }
 
@@ -135,7 +240,7 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
   // R is a dead end, hence unsatisfiable (Theorem 5.2).
   Result.Status = SolveStatus::Unsat;
   Result.StatesExplored = Visited.size();
-  Result.TimeUs = Timer.elapsedUs();
+  finalize();
   assert(Graph.isDead(R) && "exhausted exploration must prove deadness");
   return Result;
 }

@@ -25,7 +25,7 @@
 #ifndef SBD_SUPPORT_INTERNTABLE_H
 #define SBD_SUPPORT_INTERNTABLE_H
 
-#include "support/CacheStats.h"
+#include "support/Metrics.h"
 
 #include <cstdint>
 #include <vector>

@@ -1,0 +1,257 @@
+//===- support/Metrics.h - Unified counter registry (sbd::obs) --------------===//
+///
+/// \file
+/// The counting half of the observability subsystem: a process-wide
+/// `MetricsRegistry` of named counters with *per-thread shards*, plus the
+/// per-owner `CacheStats` struct the interning/memo layers bump (moved here
+/// from the former support/CacheStats.h, which this header supersedes).
+///
+/// Design rules:
+///
+///  - Hot paths never touch shared mutable state. Every thread increments
+///    its own `MetricShard` (a plain array of uint64, no atomics); the
+///    registry only takes its mutex when a thread first appears, when a
+///    thread exits (its shard is folded into a retired sum), and when a
+///    reader asks for a merged snapshot. `BatchSolver` workers are
+///    therefore lock-free while solving.
+///  - Snapshots taken while worker threads are actively counting are
+///    approximate (plain loads may tear); take them after joining workers
+///    for exact values. All tests and benches do.
+///  - Per-*query* attribution does not go through the registry at all: a
+///    solver snapshots its thread's shard on entry and diffs on exit
+///    (queries never migrate threads — the thread-local arena rule).
+///  - Compile with `-DSBD_OBS=0` to strip every counter update and span;
+///    the macros expand to nothing and the structs stay as zero-cost
+///    shells so call sites need no `#if` guards. `SBD_STATS` (the
+///    cache-counter switch predating this subsystem) defaults to
+///    `SBD_OBS` so one flag disables the whole layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SUPPORT_METRICS_H
+#define SBD_SUPPORT_METRICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#ifndef SBD_OBS
+#define SBD_OBS 1
+#endif
+
+#ifndef SBD_STATS
+#define SBD_STATS SBD_OBS
+#endif
+
+#if SBD_STATS
+#define SBD_STATS_INC(Stats, Field) ((Stats).Field += 1)
+#define SBD_STATS_ADD(Stats, Field, N) ((Stats).Field += (N))
+#else
+#define SBD_STATS_INC(Stats, Field) ((void)0)
+#define SBD_STATS_ADD(Stats, Field, N) ((void)0)
+#endif
+
+namespace sbd {
+
+namespace obs {
+
+/// Every named counter the registry tracks. Hot code indexes the shard
+/// array directly by these ids — adding a counter is adding an enumerator
+/// plus its name in counterName().
+enum class Counter : uint32_t {
+  // Derivative engine.
+  DerivativeCalls,     ///< δ(R) invocations (including recursive ones)
+  DnfCalls,            ///< δdnf(R) requests (memo hits included)
+  BrzozowskiCalls,     ///< classical D_a(R) invocations
+  // Transition-regex DNF transformation.
+  DnfBranchesExplored, ///< conditional branches recursed into during DNF
+  DnfBranchesPruned,   ///< branches skipped because the path condition died
+  ArcsEnumerated,      ///< (guard, target) arcs produced by TrManager::arcs
+  // Character algebra.
+  MintermComputations, ///< computeMinterms() calls
+  MintermsProduced,    ///< total minterms returned by those calls
+  // Solver search loop.
+  SolverSteps,         ///< states dequeued by RegexSolver::checkSat
+  TimeoutChecks,       ///< deadline clock reads in the search loop
+  QueriesSolved,       ///< checkSat() calls completed
+  // Interning / memoization (folded per query from the owner CacheStats).
+  InternHits,
+  InternMisses,
+  MemoHits,
+  MemoMisses,
+  ProbeSteps,
+  Lookups,
+  // Phase timings, microseconds (counters so they shard/merge like the rest).
+  ParseTimeUs,
+  DeriveTimeUs,
+  DnfTimeUs,
+  SearchTimeUs,
+  SolveTimeUs,
+
+  NumCounters ///< sentinel — keep last
+};
+
+constexpr size_t NumCounters = static_cast<size_t>(Counter::NumCounters);
+
+/// Stable snake_case name for JSON/statistics output.
+const char *counterName(Counter C);
+
+/// One thread's (or one snapshot's) counter values. Plain uint64s — never
+/// shared while being written.
+struct MetricShard {
+  uint64_t C[NumCounters] = {};
+
+  uint64_t get(Counter Id) const { return C[static_cast<size_t>(Id)]; }
+  void add(Counter Id, uint64_t N) { C[static_cast<size_t>(Id)] += N; }
+
+  MetricShard &operator+=(const MetricShard &O) {
+    for (size_t I = 0; I != NumCounters; ++I)
+      C[I] += O.C[I];
+    return *this;
+  }
+
+  /// Counter-wise `*this - Since` (Since must be an earlier snapshot of the
+  /// same monotonically increasing shard).
+  MetricShard since(const MetricShard &Earlier) const {
+    MetricShard Out;
+    for (size_t I = 0; I != NumCounters; ++I)
+      Out.C[I] = C[I] - Earlier.C[I];
+    return Out;
+  }
+
+  void reset() { *this = MetricShard(); }
+
+  /// Flat JSON object: {"derivative_calls": 12, ...}.
+  std::string json() const;
+};
+
+namespace detail {
+/// The calling thread's shard pointer; null until the thread's first
+/// counter bump registers a shard. `constinit` + trivially destructible so
+/// the fast path is a bare TLS load (no init guard, no wrapper logic).
+extern constinit thread_local MetricShard *TlsShard;
+/// Slow path: registers a shard for this thread and returns it.
+MetricShard &registerThreadShard();
+} // namespace detail
+
+/// The calling thread's shard — the only thing hot paths touch. First call
+/// from a thread takes the registry mutex once; afterwards this is one TLS
+/// load, a null test, and the increment.
+inline MetricShard &tlsShard() {
+  MetricShard *P = detail::TlsShard;
+  return P ? *P : detail::registerThreadShard();
+}
+
+/// Process-wide registry of per-thread shards. Singleton (`global()`);
+/// intentionally leaked so thread-exit hooks never race its destructor.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &global();
+
+  /// The calling thread's shard (see tlsShard()).
+  MetricShard &local() { return tlsShard(); }
+
+  /// Merged view: retired shards of exited threads + all live shards.
+  /// Exact only when no other thread is concurrently counting.
+  MetricShard snapshot();
+
+  /// Zeroes every live shard and the retired sum. Call between benchmark
+  /// runs (with workers joined).
+  void reset();
+
+private:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+
+  struct Impl;
+  static Impl &impl();
+
+  friend MetricShard &detail::registerThreadShard();
+};
+
+#if SBD_OBS
+#define SBD_OBS_INC(CounterId)                                                 \
+  (::sbd::obs::tlsShard().add(::sbd::obs::Counter::CounterId, 1))
+#define SBD_OBS_ADD(CounterId, N)                                              \
+  (::sbd::obs::tlsShard().add(::sbd::obs::Counter::CounterId,                  \
+                              static_cast<uint64_t>(N)))
+#else
+#define SBD_OBS_INC(CounterId) ((void)0)
+#define SBD_OBS_ADD(CounterId, N) ((void)0)
+#endif
+
+} // namespace obs
+
+/// Hit/miss/probe counters for one interning table or memo cache owner.
+/// All counters are plain (non-atomic) — each arena is single-threaded by
+/// design (see DESIGN.md, "thread-local arena rule"); cross-thread
+/// aggregation happens only after workers join.
+struct CacheStats {
+  /// Hash-consing: structurally-equal node re-interned (no allocation).
+  uint64_t InternHits = 0;
+  /// Hash-consing: fresh node appended to the arena.
+  uint64_t InternMisses = 0;
+  /// Memoized δ/δdnf/negate/Brzozowski result served from a memo slot.
+  uint64_t MemoHits = 0;
+  /// Memo slot was empty; the result was computed and recorded.
+  uint64_t MemoMisses = 0;
+  /// Total open-addressing probe steps across all table lookups.
+  uint64_t ProbeSteps = 0;
+  /// Number of table lookups (probe-length denominator).
+  uint64_t Lookups = 0;
+
+  void reset() { *this = CacheStats(); }
+
+  CacheStats &operator+=(const CacheStats &O) {
+    InternHits += O.InternHits;
+    InternMisses += O.InternMisses;
+    MemoHits += O.MemoHits;
+    MemoMisses += O.MemoMisses;
+    ProbeSteps += O.ProbeSteps;
+    Lookups += O.Lookups;
+    return *this;
+  }
+
+  /// Folds these counters into a registry shard under the unified names.
+  void foldInto(obs::MetricShard &Shard) const {
+    Shard.add(obs::Counter::InternHits, InternHits);
+    Shard.add(obs::Counter::InternMisses, InternMisses);
+    Shard.add(obs::Counter::MemoHits, MemoHits);
+    Shard.add(obs::Counter::MemoMisses, MemoMisses);
+    Shard.add(obs::Counter::ProbeSteps, ProbeSteps);
+    Shard.add(obs::Counter::Lookups, Lookups);
+  }
+
+  double internHitRate() const {
+    uint64_t Total = InternHits + InternMisses;
+    return Total ? static_cast<double>(InternHits) / Total : 0.0;
+  }
+  double memoHitRate() const {
+    uint64_t Total = MemoHits + MemoMisses;
+    return Total ? static_cast<double>(MemoHits) / Total : 0.0;
+  }
+  /// Mean probe steps per lookup (1.0 = every key found in its home slot).
+  double avgProbeLength() const {
+    return Lookups ? static_cast<double>(ProbeSteps) / Lookups : 0.0;
+  }
+
+  /// One-line human-readable rendering for benchmark output.
+  std::string summary() const {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "intern %llu/%llu (%.1f%% hit) memo %llu/%llu (%.1f%% hit) "
+                  "avg-probe %.2f",
+                  static_cast<unsigned long long>(InternHits),
+                  static_cast<unsigned long long>(InternHits + InternMisses),
+                  internHitRate() * 100.0,
+                  static_cast<unsigned long long>(MemoHits),
+                  static_cast<unsigned long long>(MemoHits + MemoMisses),
+                  memoHitRate() * 100.0, avgProbeLength());
+    return Buf;
+  }
+};
+
+} // namespace sbd
+
+#endif // SBD_SUPPORT_METRICS_H

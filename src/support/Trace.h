@@ -1,0 +1,145 @@
+//===- support/Trace.h - Span/event tracer (sbd::obs) -----------------------===//
+///
+/// \file
+/// The timeline half of the observability subsystem: a lightweight span
+/// tracer whose output loads directly into `chrome://tracing` / Perfetto
+/// (Chrome `trace_event` JSON, "X" complete events).
+///
+/// Cost model:
+///
+///  - Disabled (the default): `ScopedSpan` construction is one relaxed
+///    atomic load and a branch; no clock is read, nothing allocates. The
+///    `SBD_SPAN` macro additionally compiles to nothing at `-DSBD_OBS=0`.
+///  - Enabled: each span reads the monotonic clock twice and appends one
+///    event to a *per-thread* buffer — no locks on the hot path; buffers
+///    are merged under a mutex only at export time (or when a thread
+///    exits). Span names/categories must be string literals (the tracer
+///    stores the pointers).
+///
+/// Usage:
+///
+///   obs::Tracer::global().start();
+///   ... run queries ...
+///   obs::Tracer::global().stop();
+///   obs::Tracer::global().writeChromeTrace("out.trace.json");
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SUPPORT_TRACE_H
+#define SBD_SUPPORT_TRACE_H
+
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sbd {
+namespace obs {
+
+/// One completed span ("X" event). Timestamps are microseconds since the
+/// tracer epoch (the last start() call).
+struct TraceEvent {
+  const char *Name; ///< static string (not copied)
+  const char *Cat;  ///< static string (not copied)
+  int64_t TsUs;
+  int64_t DurUs;
+  /// Pre-rendered JSON members for the "args" object (may be empty),
+  /// e.g. "\"pattern\": \"a*b\"".
+  std::string Args;
+};
+
+/// Process-wide tracer. Singleton, intentionally leaked (thread-exit hooks
+/// must never race its destructor).
+class Tracer {
+public:
+  static Tracer &global();
+
+  /// Fast path for instrumentation sites: is any tracing active?
+  static bool active() { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Clears previously collected events, resets the epoch, enables
+  /// collection.
+  void start();
+  /// Stops collection (already-collected events are kept for export).
+  void stop();
+  /// Drops all collected events (start() also does this).
+  void clear();
+
+  /// Microseconds since the epoch.
+  int64_t nowUs() const;
+
+  /// Appends one event to the calling thread's buffer. No-op when not
+  /// enabled.
+  void record(TraceEvent E);
+
+  /// Renders all collected events (retired + live threads) as a Chrome
+  /// trace_event JSON document. Call with worker threads joined.
+  std::string chromeTraceJson();
+
+  /// Writes chromeTraceJson() to \p Path; returns false on I/O error.
+  bool writeChromeTrace(const std::string &Path);
+
+  /// Number of collected events (diagnostics/tests).
+  size_t eventCount();
+
+private:
+  Tracer() = default;
+  Tracer(const Tracer &) = delete;
+
+  struct Impl;
+  static Impl &impl();
+
+  static std::atomic<bool> Enabled;
+};
+
+/// RAII span: measures construction→destruction and records it under the
+/// tracer when active. When constructed with the tracer off it does
+/// nothing — including if the tracer is switched on mid-lifetime.
+class ScopedSpan {
+public:
+  ScopedSpan(const char *Name, const char *Cat = "sbd")
+      : Name(Name), Cat(Cat), Live(Tracer::active()) {
+    if (Live)
+      StartUs = Tracer::global().nowUs();
+  }
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  /// Attaches a string argument (shown in the trace viewer's args pane).
+  /// Cheap no-op when the span is not live. \p Key must be a literal.
+  void arg(const char *Key, const std::string &Value);
+  /// Attaches a numeric argument.
+  void arg(const char *Key, uint64_t Value);
+
+  ~ScopedSpan() {
+    if (Live)
+      finish();
+  }
+
+private:
+  void finish();
+
+  const char *Name;
+  const char *Cat;
+  bool Live;
+  int64_t StartUs = 0;
+  std::string Args;
+};
+
+#if SBD_OBS
+#define SBD_OBS_CONCAT2(A, B) A##B
+#define SBD_OBS_CONCAT(A, B) SBD_OBS_CONCAT2(A, B)
+/// Declares a block-scoped span with a unique name. Usage:
+///   SBD_SPAN("checkSat", "solver");
+#define SBD_SPAN(NameLit, CatLit)                                              \
+  ::sbd::obs::ScopedSpan SBD_OBS_CONCAT(SbdSpan_, __LINE__)(NameLit, CatLit)
+#else
+#define SBD_SPAN(NameLit, CatLit) ((void)0)
+#endif
+
+} // namespace obs
+} // namespace sbd
+
+#endif // SBD_SUPPORT_TRACE_H

@@ -206,4 +206,56 @@ TEST(BatchSolverTest, EmptyBatch) {
   EXPECT_TRUE(Batch.solveAll({}).empty());
 }
 
+TEST(BatchSolverTest, ParseErrorsCarryStopReason) {
+  BatchSolver Batch;
+  std::vector<BatchResult> Results =
+      Batch.solveAll({{"(unclosed", SolveOptions{}}});
+  ASSERT_EQ(Results.size(), 1u);
+  EXPECT_EQ(Results[0].Result.Stop, StopReason::ParseError);
+}
+
+#if SBD_OBS
+TEST(BatchSolverTest, RegistryAggregationDeterministicAcrossThreads) {
+  // With arena recycling (the default) every query runs on a fresh stack,
+  // so the summed work counters must not depend on how queries were
+  // distributed over workers. Time-valued counters are excluded — wall
+  // clock is never deterministic.
+  std::vector<BatchQuery> Queries = toQueries(mixedCorpus());
+  auto runAndSnapshot = [&](unsigned Threads) {
+    obs::MetricsRegistry::global().reset();
+    BatchOptions Opts;
+    Opts.NumThreads = Threads;
+    BatchSolver Batch(Opts);
+    (void)Batch.solveAll(Queries); // workers joined on return
+    return obs::MetricsRegistry::global().snapshot();
+  };
+  obs::MetricShard S1 = runAndSnapshot(1);
+  obs::MetricShard S8 = runAndSnapshot(8);
+  for (size_t I = 0; I != obs::NumCounters; ++I) {
+    std::string Name = obs::counterName(static_cast<obs::Counter>(I));
+    if (Name.size() >= 3 && Name.compare(Name.size() - 3, 3, "_us") == 0)
+      continue;
+    EXPECT_EQ(S1.C[I], S8.C[I]) << Name;
+  }
+  EXPECT_GT(S1.get(obs::Counter::DerivativeCalls), 0u);
+  EXPECT_EQ(S1.get(obs::Counter::QueriesSolved), Queries.size());
+  obs::MetricsRegistry::global().reset();
+}
+
+TEST(BatchSolverTest, PerQueryStatsArePopulated) {
+  BatchOptions Opts;
+  Opts.NumThreads = 2;
+  BatchSolver Batch(Opts);
+  std::vector<BatchResult> Results =
+      Batch.solveAll(toQueries({"a{3}b*", "(ab)+&(ba)+"}));
+  ASSERT_EQ(Results.size(), 2u);
+  for (const BatchResult &R : Results) {
+    EXPECT_GT(R.Result.Stats.DerivativeCalls, 0u);
+    EXPECT_GT(R.Result.Stats.SolverSteps, 0u);
+    EXPECT_GE(R.Result.Stats.ParseUs, 0);
+    EXPECT_GE(R.Result.Stats.TotalUs, 0);
+  }
+}
+#endif // SBD_OBS
+
 } // namespace

@@ -1,0 +1,200 @@
+//===- tests/ObsTest.cpp - Observability layer tests ------------------------===//
+///
+/// \file
+/// The guarantees of the sbd::obs subsystem (support/Metrics.h,
+/// support/Trace.h):
+///   - the counter registry merges per-thread shards correctly, including
+///     shards of threads that have already exited;
+///   - tracing on vs off never changes a verdict or witness;
+///   - the exported documents (Chrome trace, stats JSON) are valid JSON
+///     with the advertised structure — validated with the in-tree parser.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include "policy/Json.h"
+#include "re/RegexParser.h"
+#include "solver/RegexSolver.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+using namespace sbd;
+
+namespace {
+
+/// Solves one pattern on a fresh solver stack.
+SolveResult solvePattern(const std::string &Pattern) {
+  RegexManager M;
+  TrManager T(M);
+  DerivativeEngine E(M, T);
+  RegexSolver S(E);
+  return S.checkSat(parseRegexOrDie(M, Pattern));
+}
+
+TEST(MetricsTest, CounterNamesAreUniqueAndStable) {
+  std::set<std::string> Names;
+  for (size_t I = 0; I != obs::NumCounters; ++I) {
+    std::string Name = obs::counterName(static_cast<obs::Counter>(I));
+    EXPECT_NE(Name, "?");
+    EXPECT_TRUE(Names.insert(Name).second) << "duplicate name " << Name;
+  }
+}
+
+TEST(MetricsTest, ShardArithmetic) {
+  obs::MetricShard A, B;
+  A.add(obs::Counter::DerivativeCalls, 5);
+  A.add(obs::Counter::MemoHits, 2);
+  B.add(obs::Counter::DerivativeCalls, 3);
+  B += A;
+  EXPECT_EQ(B.get(obs::Counter::DerivativeCalls), 8u);
+  EXPECT_EQ(B.get(obs::Counter::MemoHits), 2u);
+  obs::MetricShard D = B.since(A);
+  EXPECT_EQ(D.get(obs::Counter::DerivativeCalls), 3u);
+  EXPECT_EQ(D.get(obs::Counter::MemoHits), 0u);
+  B.reset();
+  EXPECT_EQ(B.get(obs::Counter::DerivativeCalls), 0u);
+}
+
+TEST(MetricsTest, ShardJsonParses) {
+  obs::MetricShard S;
+  S.add(obs::Counter::DnfCalls, 7);
+  JsonParseResult R = parseJson(S.json());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const JsonValue *V = R.Value.get("dnf_calls");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->asNumber(), 7.0);
+  // Every counter must appear under its registered name.
+  for (size_t I = 0; I != obs::NumCounters; ++I)
+    EXPECT_NE(R.Value.get(obs::counterName(static_cast<obs::Counter>(I))),
+              nullptr);
+}
+
+TEST(MetricsTest, SolveStatsJsonParses) {
+  SolveStats St;
+  St.DerivativeCalls = 11;
+  St.DeriveUs = 42;
+  JsonParseResult R = parseJson(St.json());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.get("derivative_calls")->asNumber(), 11.0);
+  EXPECT_EQ(R.Value.get("derive_us")->asNumber(), 42.0);
+  for (const char *Key :
+       {"dnf_calls", "memo_hits", "arena_nodes", "peak_frontier", "parse_us",
+        "dnf_us", "search_us", "total_us"})
+    EXPECT_NE(R.Value.get(Key), nullptr) << Key;
+}
+
+#if SBD_OBS
+
+TEST(MetricsTest, RegistrySeesSolverWork) {
+  obs::MetricsRegistry::global().reset();
+  SolveResult R = solvePattern("(ab)+&(ba)+");
+  EXPECT_TRUE(R.isUnsat());
+  obs::MetricShard Snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_GT(Snap.get(obs::Counter::DerivativeCalls), 0u);
+  EXPECT_GT(Snap.get(obs::Counter::DnfCalls), 0u);
+  EXPECT_EQ(Snap.get(obs::Counter::QueriesSolved), 1u);
+  // The per-query stats and the registry must agree on this single query.
+  EXPECT_EQ(Snap.get(obs::Counter::DerivativeCalls), R.Stats.DerivativeCalls);
+  EXPECT_EQ(Snap.get(obs::Counter::SolverSteps), R.Stats.SolverSteps);
+  obs::MetricsRegistry::global().reset();
+  EXPECT_EQ(obs::MetricsRegistry::global()
+                .snapshot()
+                .get(obs::Counter::DerivativeCalls),
+            0u);
+}
+
+TEST(MetricsTest, ExitedThreadShardsFoldIntoSnapshot) {
+  obs::MetricsRegistry::global().reset();
+  std::thread Worker([] { obs::tlsShard().add(obs::Counter::Lookups, 123); });
+  Worker.join();
+  EXPECT_EQ(
+      obs::MetricsRegistry::global().snapshot().get(obs::Counter::Lookups),
+      123u);
+}
+
+#endif // SBD_OBS
+
+TEST(TracerTest, OnOffVerdictParity) {
+  const std::vector<std::string> Patterns = {
+      "(.*\\d.*)&(.*[a-z].*)&.{4,12}",
+      "(ab)+&(ba)+",
+      "\\d{4}-[a-zA-Z]{3}-\\d{2}&(2019.*|2020.*)",
+      "~(.*ab.*)&.*a.*&.*b.*",
+  };
+  std::vector<SolveResult> Off, On;
+  obs::Tracer::global().stop();
+  for (const std::string &P : Patterns)
+    Off.push_back(solvePattern(P));
+  obs::Tracer::global().start();
+  for (const std::string &P : Patterns)
+    On.push_back(solvePattern(P));
+  obs::Tracer::global().stop();
+  for (size_t I = 0; I != Patterns.size(); ++I) {
+    EXPECT_EQ(Off[I].Status, On[I].Status) << Patterns[I];
+    EXPECT_EQ(Off[I].Witness, On[I].Witness) << Patterns[I];
+    EXPECT_EQ(Off[I].StatesExplored, On[I].StatesExplored) << Patterns[I];
+  }
+#if SBD_OBS
+  EXPECT_GT(obs::Tracer::global().eventCount(), 0u);
+#endif
+  obs::Tracer::global().clear();
+}
+
+#if SBD_OBS
+
+TEST(TracerTest, ChromeTraceJsonIsValid) {
+  obs::Tracer::global().start();
+  {
+    obs::ScopedSpan Outer("outer", "test");
+    Outer.arg("pattern", std::string("a\"b\\c")); // needs escaping
+    Outer.arg("count", uint64_t(3));
+    obs::ScopedSpan Inner("inner", "test");
+  }
+  (void)solvePattern("a{3}b*");
+  obs::Tracer::global().stop();
+  std::string Doc = obs::Tracer::global().chromeTraceJson();
+  obs::Tracer::global().clear();
+
+  JsonParseResult R = parseJson(Doc);
+  ASSERT_TRUE(R.Ok) << R.Error << "\n" << Doc;
+  const JsonValue *Events = R.Value.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  ASSERT_GE(Events->asArray().size(), 3u); // outer, inner, checkSat
+  bool SawOuter = false;
+  for (const JsonValue &E : Events->asArray()) {
+    ASSERT_NE(E.get("name"), nullptr);
+    ASSERT_NE(E.get("ph"), nullptr);
+    EXPECT_EQ(E.get("ph")->asString(), "X");
+    ASSERT_NE(E.get("ts"), nullptr);
+    ASSERT_NE(E.get("dur"), nullptr);
+    ASSERT_NE(E.get("tid"), nullptr);
+    if (E.get("name")->asString() == "outer") {
+      SawOuter = true;
+      const JsonValue *Args = E.get("args");
+      ASSERT_NE(Args, nullptr);
+      EXPECT_EQ(Args->get("pattern")->asString(), "a\"b\\c");
+      EXPECT_EQ(Args->get("count")->asNumber(), 3.0);
+    }
+  }
+  EXPECT_TRUE(SawOuter);
+}
+
+TEST(TracerTest, SpansDeadWhenTracerOff) {
+  obs::Tracer::global().stop();
+  obs::Tracer::global().clear();
+  {
+    obs::ScopedSpan Span("dead", "test");
+    Span.arg("ignored", uint64_t(1));
+  }
+  EXPECT_EQ(obs::Tracer::global().eventCount(), 0u);
+}
+
+#endif // SBD_OBS
+
+} // namespace

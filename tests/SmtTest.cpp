@@ -400,4 +400,55 @@ TEST_F(SmtTest, EmptyScriptIsSat) {
   EXPECT_EQ(modelValue(R, "s"), "");
 }
 
+TEST_F(SmtTest, GetInfoStatistics) {
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (re.++ (str.to_re "ab") (re.* (re.range "0" "9")))))
+    (assert (>= (str.len s) 3))
+    (check-sat)
+    (get-info :statistics))");
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  ASSERT_FALSE(R.Statistics.empty());
+  EXPECT_EQ(R.Statistics.front(), '(');
+  EXPECT_EQ(R.Statistics.back(), ')');
+  EXPECT_NE(R.Statistics.find(":cubes-tried"), std::string::npos);
+  EXPECT_NE(R.Statistics.find(":regex-queries"), std::string::npos);
+  EXPECT_NE(R.Statistics.find(":derivative-calls"), std::string::npos);
+  EXPECT_NE(R.Statistics.find(":solve-time-us"), std::string::npos);
+  EXPECT_GE(R.CubesTried, 1u);
+#if SBD_OBS
+  EXPECT_GT(R.Stats.DerivativeCalls, 0u);
+#endif
+  // Without the request, no statistics are rendered.
+  SmtResult Plain = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (str.to_re "x")))
+    (check-sat))");
+  EXPECT_TRUE(Plain.Statistics.empty());
+}
+
+TEST_F(SmtTest, TrailingFormsAfterCheckSatKeepTheVerdict) {
+  SmtResult R = run(R"(
+    (declare-const s String)
+    (assert (str.in_re s (str.to_re "ok")))
+    (check-sat)
+    (get-model)
+    (exit))");
+  EXPECT_EQ(R.Status, SolveStatus::Sat);
+}
+
+TEST_F(SmtTest, StopReasonsAreMachineReadable) {
+  SmtResult Unsup = run("(push)(pop)(check-sat)");
+  EXPECT_EQ(Unsup.Status, SolveStatus::Unsupported);
+  EXPECT_EQ(Unsup.Stop, StopReason::UnsupportedFragment);
+
+  SmtResult Parse = run("(assert (= 1 2)");
+  EXPECT_EQ(Parse.Status, SolveStatus::Unsupported);
+  EXPECT_EQ(Parse.Stop, StopReason::ParseError);
+
+  SmtResult Sat = run(R"((declare-const s String)
+    (assert (str.in_re s (str.to_re "x")))(check-sat))");
+  EXPECT_EQ(Sat.Stop, StopReason::None);
+}
+
 } // namespace

@@ -286,6 +286,91 @@ TEST_F(SolverTest, IntroHeadlineClaim) {
   EXPECT_TRUE(E.matches(R, Res2.Witness));
 }
 
+TEST_F(SolverTest, StopReasonNoneOnDecidedQueries) {
+  SolveResult Sat = sat(re("a{3}b*"));
+  EXPECT_TRUE(Sat.isSat());
+  EXPECT_EQ(Sat.Stop, StopReason::None);
+  SolveResult Unsat = sat(re("(ab)+&(ba)+"));
+  EXPECT_TRUE(Unsat.isUnsat());
+  EXPECT_EQ(Unsat.Stop, StopReason::None);
+}
+
+TEST_F(SolverTest, StopReasonStateBudget) {
+  SolveOptions Opts;
+  Opts.MaxStates = 2;
+  SolveResult R = S.checkSat(re("a{50}"), Opts);
+  EXPECT_EQ(R.Status, SolveStatus::Unknown);
+  EXPECT_EQ(R.Stop, StopReason::StateBudget);
+  EXPECT_EQ(R.Note, "state budget exhausted");
+}
+
+TEST_F(SolverTest, StopReasonTimeout) {
+  // A 0x3F-step clock cadence alone could overshoot a 1ms budget by a lot
+  // on blowup instances; the adaptive cadence must still report Timeout.
+  // Scale the instance up until the budget actually binds (fast machines
+  // may decide small ones within 1ms — those must report None).
+  SolveOptions Opts;
+  Opts.TimeoutMs = 1;
+  for (int K = 10; K <= 22; K += 4) {
+    std::string P = "(.*a.{" + std::to_string(K) + "})&(.*b.{" +
+                    std::to_string(K) + "})&(.*c.{" + std::to_string(K) +
+                    "})";
+    SolveResult R = S.checkSat(re(P), Opts);
+    if (R.Status != SolveStatus::Unknown) {
+      EXPECT_EQ(R.Stop, StopReason::None);
+      continue;
+    }
+    EXPECT_EQ(R.Stop, StopReason::Timeout);
+    EXPECT_GT(R.Stats.TimeoutChecks, 0u);
+    // The adaptive check keeps the overshoot bounded: allow a generous
+    // 50x budget margin so slow CI machines don't flake, while still
+    // catching a reversion to unchecked multi-second overruns.
+    EXPECT_LT(R.TimeUs, Opts.TimeoutMs * 1000 * 50);
+    return;
+  }
+  // All instances decided within the budget: nothing more to check.
+}
+
+#if SBD_OBS
+TEST_F(SolverTest, ExactWorkCountersOnTinySolve) {
+  // "ab": BFS dequeues "ab" then "b"; the ε-successor of "b" finishes.
+  SolveResult R = sat(re("ab"));
+  ASSERT_TRUE(R.isSat());
+  EXPECT_EQ(R.Stats.SolverSteps, 2u);
+  EXPECT_EQ(R.Stats.DnfCalls, 2u);         // one δdnf per dequeued state
+  EXPECT_EQ(R.Stats.ArcsEnumerated, 2u);   // a→"b", b→ε
+  EXPECT_EQ(R.Stats.PeakFrontier, 1u);     // chain: frontier never grows
+  EXPECT_EQ(R.StatesExplored, 3u);         // "ab", "b", ε
+  EXPECT_GT(R.Stats.DerivativeCalls, 0u);
+  EXPECT_GT(R.Stats.ArenaNodes, 0u);
+  EXPECT_GE(R.Stats.TotalUs, R.Stats.DeriveUs + R.Stats.DnfUs);
+}
+
+TEST_F(SolverTest, DisjointIntersectionCountsOnePrunedStep) {
+  // "a&b" with disjoint alphabets dies after a single expansion.
+  SolveResult R = sat(M.inter(re("a"), re("b")));
+  ASSERT_TRUE(R.isUnsat());
+  EXPECT_EQ(R.Stats.SolverSteps, 1u);
+  EXPECT_EQ(R.Stats.DnfCalls, 1u);
+  EXPECT_EQ(R.Stats.ArcsEnumerated, 0u); // δ(a&b) simplifies to ⊥
+  EXPECT_EQ(R.StatesExplored, 1u);
+}
+
+TEST_F(SolverTest, MemoizedRepeatQueryDoesNoDerivativeWork) {
+  Re R = re("(ab)+&(ba)+");
+  SolveResult First = S.checkSat(R);
+  ASSERT_TRUE(First.isUnsat());
+  EXPECT_GT(First.Stats.DerivativeCalls, 0u);
+  // The dead-state fact persists in the derivative graph: the second query
+  // answers from the graph without a single derivative or arena node.
+  SolveResult Second = S.checkSat(R);
+  ASSERT_TRUE(Second.isUnsat());
+  EXPECT_EQ(Second.Stats.DerivativeCalls, 0u);
+  EXPECT_EQ(Second.Stats.ArenaNodes, 0u);
+  EXPECT_EQ(Second.Stats.SolverSteps, 0u);
+}
+#endif // SBD_OBS
+
 TEST_F(SolverTest, EmptinessAgreesWithMatcherSampling) {
   // If the solver says unsat, no sampled word may match; if sat, the
   // witness matches (checked in sat()).
