@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# One-shot verification: configure, build, run the full test suite, run the
-# benchmark harness, a Release-mode bench smoke run, a ThreadSanitizer build
-# of the parallel batch-solver tests, and (optionally) repeat the tests under
-# ASan+UBSan.
+# One-shot verification: configure, build, run the full test suite, the
+# project lints, a --quick benchmark pass, a Release-mode bench smoke run,
+# and the full static-analysis / sanitizer matrix:
 #
-#   scripts/check.sh            # build + test + bench + bench smoke + tsan
-#   scripts/check.sh --asan     # additionally run the sanitizer suite
+#   - scripts/lint_sbd.py     project-structure lints (always)
+#   - scripts/tidy.sh         clang-tidy vs baseline (when clang-tidy exists)
+#   - SBD_WERROR=ON           -Wall -Wextra -Wshadow -Wconversion -Werror
+#   - SBD_AUDIT=ON            full suite with term-DAG invariant audits live
+#   - SBD_OBS=OFF             observability layer compiles out cleanly
+#   - TSan                    parallel batch solver + obs registry tests
+#   - ASan+UBSan              full suite (mandatory, not opt-in)
+#
+#   scripts/check.sh          # everything above
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,8 +19,18 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Project-structure lints: smart-constructor discipline, hot-path container
+# rules, obs macros compile out. Stdlib-only python, no toolchain deps.
+python3 scripts/lint_sbd.py
+
+# clang-tidy against the checked-in baseline; no-op (exit 0) when clang-tidy
+# is not installed, so this line is safe on minimal containers.
+scripts/tidy.sh build
+
+# Debug-build bench pass at --quick scale: exercises every harness binary's
+# full code path without turning the tier-1 gate into a benchmark run.
 for b in build/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] && "$b"
+  [ -f "$b" ] && [ -x "$b" ] && "$b" --quick
 done
 
 # Release-mode bench smoke: catches perf-path regressions that only compile
@@ -47,24 +63,39 @@ else
   grep -q '"search_us"' /tmp/sbd-stats.json
 fi
 
+# Warning hardening: src/ must compile clean under
+# -Wall -Wextra -Wshadow -Wconversion -Werror.
+cmake -B build-werror -G Ninja -DSBD_WERROR=ON
+cmake --build build-werror
+
+# Invariant-audit build: every intern, δdnf result, and checkSat exit is
+# re-verified against the similarity laws (DESIGN.md §9) while the whole
+# suite runs. Any violation prints to stderr; the AuditHooksFeedObsRegistry
+# test additionally asserts the registry stayed at zero violations.
+cmake -B build-audit -G Ninja -DSBD_AUDIT=ON
+cmake --build build-audit
+ctest --test-dir build-audit --output-on-failure
+
 # The observability layer must also compile out cleanly: tests must still
 # pass with every counter bump and span stripped (-DSBD_OBS=OFF).
 cmake -B build-obs0 -G Ninja -DSBD_OBS=OFF
 cmake --build build-obs0 --target solver_test obs_test batch_solver_test \
-  smt_test
-ctest --test-dir build-obs0 -R 'Solver|Obs|Metrics|Tracer|Batch|Smt' \
+  smt_test audit_test
+ctest --test-dir build-obs0 -R 'Solver|Obs|Metrics|Tracer|Batch|Smt|Audit' \
   --output-on-failure
 
-# ThreadSanitizer build of the parallel front end: the batch solver is the
-# only component that spawns threads, so only its tests need the TSan run.
+# ThreadSanitizer: the batch solver spawns the worker threads and the obs
+# registry is the only shared-mutable-state structure they touch, so both
+# test binaries run under TSan.
 cmake -B build-tsan -G Ninja -DSBD_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan --target batch_solver_test
-ctest --test-dir build-tsan -R BatchSolver --output-on-failure
+cmake --build build-tsan --target batch_solver_test obs_test
+ctest --test-dir build-tsan -R 'BatchSolver|Obs|Metrics|Tracer' \
+  --output-on-failure
 
-if [ "${1:-}" = "--asan" ]; then
-  cmake -B build-asan -G Ninja -DSBD_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
-  cmake --build build-asan
-  ctest --test-dir build-asan --output-on-failure
-fi
+# AddressSanitizer + UBSan over the full suite. Mandatory: memory bugs in
+# the arena/interning layer are exactly the class the audits cannot see.
+cmake -B build-asan -G Ninja -DSBD_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
 
 echo "all checks passed"

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over src/ using the repo .clang-tidy config and compares
+# the findings against scripts/tidy_baseline.txt: new findings fail the
+# script, fixed findings just print a reminder to shrink the baseline.
+#
+# Usage:
+#   scripts/tidy.sh [build-dir]          # default build dir: build/
+#   scripts/tidy.sh --update [build-dir] # rewrite the baseline from HEAD
+#
+# Requires a build dir configured with CMAKE_EXPORT_COMPILE_COMMANDS (the
+# top-level CMakeLists.txt always sets it). When clang-tidy is not
+# installed this script is a no-op that exits 0, so check.sh can invoke it
+# unconditionally.
+set -u
+
+cd "$(dirname "$0")/.."
+
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+  UPDATE=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+BASELINE=scripts/tidy_baseline.txt
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  echo "tidy.sh: clang-tidy not found on PATH; skipping (not an error)."
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "tidy.sh: $BUILD_DIR/compile_commands.json missing." >&2
+  echo "tidy.sh: configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 1
+fi
+
+# Every first-party translation unit (generated/test/bench files are linted
+# by their own compilers; the tidy budget goes to the library code).
+mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}" 2>/dev/null |
+  grep -E '(warning|error):' |
+  # Normalize absolute paths and drop column numbers so the baseline is
+  # stable across checkouts and minor edits above a finding.
+  sed -E "s#^$(pwd)/##; s#^([^:]+):([0-9]+):[0-9]+:#\1:\2:#" |
+  sort -u > "$RAW"
+
+if [ "$UPDATE" -eq 1 ]; then
+  cp "$RAW" "$BASELINE"
+  echo "tidy.sh: baseline rewritten ($(wc -l < "$BASELINE") findings)."
+  exit 0
+fi
+
+touch "$BASELINE"
+NEW="$(comm -23 "$RAW" <(sort -u "$BASELINE"))"
+GONE="$(comm -13 "$RAW" <(sort -u "$BASELINE"))"
+
+if [ -n "$GONE" ]; then
+  echo "tidy.sh: $(echo "$GONE" | wc -l) baseline finding(s) no longer fire;"
+  echo "tidy.sh: run 'scripts/tidy.sh --update' to shrink the baseline."
+fi
+if [ -n "$NEW" ]; then
+  echo "tidy.sh: NEW findings (not in $BASELINE):" >&2
+  echo "$NEW" >&2
+  exit 1
+fi
+echo "tidy.sh: clean ($(wc -l < "$RAW") total findings, all baselined)."

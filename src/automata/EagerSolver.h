@@ -37,8 +37,8 @@ public:
     NfaProduct,          ///< NFA products for & and |; determinize for ~
   };
 
-  explicit EagerSolver(RegexManager &M, Policy P = Policy::Determinize)
-      : M(M), Pol(P) {}
+  explicit EagerSolver(RegexManager &Mgr, Policy P = Policy::Determinize)
+      : M(Mgr), Pol(P) {}
 
   /// Decides nonemptiness of L(R) by building the automaton eagerly.
   SolveResult solve(Re R, const SolveOptions &Opts = {});

@@ -10,8 +10,8 @@ namespace {
 
 class Compiler {
 public:
-  Compiler(const RegexManager &M, size_t MaxStates)
-      : M(M), MaxStates(MaxStates) {}
+  Compiler(const RegexManager &Mgr, size_t StateLimit)
+      : M(Mgr), MaxStates(StateLimit) {}
 
   std::optional<Snfa> compile(Re R) {
     const RegexNode &N = M.node(R);

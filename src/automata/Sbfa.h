@@ -94,8 +94,8 @@ public:
   DerivativeEngine &engine() const { return *Engine; }
 
 private:
-  explicit Sbfa(DerivativeEngine &Engine)
-      : Engine(&Engine), Exprs(std::make_unique<BoolExprManager>()) {}
+  explicit Sbfa(DerivativeEngine &Eng)
+      : Engine(&Eng), Exprs(std::make_unique<BoolExprManager>()) {}
 
   /// Decomposes the Boolean structure of an ERE into atomic terminals.
   void collectAtomics(Re R, std::vector<Re> &Out) const;

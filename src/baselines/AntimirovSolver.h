@@ -49,7 +49,7 @@ std::optional<Snfa> buildPartialDerivativeNfa(RegexManager &M, Re R,
 /// Partial-derivative satisfiability solver (positive fragment).
 class AntimirovSolver {
 public:
-  explicit AntimirovSolver(RegexManager &M) : M(M) {}
+  explicit AntimirovSolver(RegexManager &Mgr) : M(Mgr) {}
 
   /// Decides nonemptiness of L(R); Unsupported when R contains `~`.
   SolveResult solve(Re R, const SolveOptions &Opts = {});

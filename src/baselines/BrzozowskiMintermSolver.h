@@ -26,8 +26,8 @@ namespace sbd {
 /// Brzozowski + global minterms baseline.
 class BrzozowskiMintermSolver {
 public:
-  explicit BrzozowskiMintermSolver(DerivativeEngine &Engine)
-      : Engine(Engine) {}
+  explicit BrzozowskiMintermSolver(DerivativeEngine &Eng)
+      : Engine(Eng) {}
 
   /// Decides nonemptiness of L(R) by exhaustive derivative exploration over
   /// the mintermized alphabet.

@@ -1,4 +1,5 @@
 //===- core/CachedMatcher.cpp - SRM-style derivative matcher -----------------===//
+// sbd-lint: hot-path
 
 #include "core/CachedMatcher.h"
 
@@ -8,8 +9,8 @@
 
 using namespace sbd;
 
-CachedMatcher::CachedMatcher(DerivativeEngine &Engine, Re Pattern)
-    : Engine(Engine), M(Engine.regexManager()), T(Engine.trManager()) {
+CachedMatcher::CachedMatcher(DerivativeEngine &Eng, Re Pattern)
+    : Engine(Eng), M(Eng.regexManager()), T(Eng.trManager()) {
   InitialState = internState(Pattern);
 }
 

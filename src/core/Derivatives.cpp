@@ -1,4 +1,5 @@
 //===- core/Derivatives.cpp - Symbolic and classical derivatives ------------===//
+// sbd-lint: hot-path
 
 #include "core/Derivatives.h"
 

@@ -29,7 +29,7 @@ namespace sbd {
 /// pair.
 class DerivativeEngine {
 public:
-  DerivativeEngine(RegexManager &M, TrManager &T) : M(M), T(T) {}
+  DerivativeEngine(RegexManager &Mgr, TrManager &TrMgr) : M(Mgr), T(TrMgr) {}
 
   RegexManager &regexManager() { return M; }
   TrManager &trManager() { return T; }

@@ -1,17 +1,18 @@
 //===- core/TransitionRegex.cpp - Transition regexes ------------------------===//
+// sbd-lint: hot-path
 
 #include "core/TransitionRegex.h"
 
+#include "analysis/AuditHooks.h"
 #include "support/Debug.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
 #include <set>
-#include <unordered_map>
 
 using namespace sbd;
 
-TrManager::TrManager(RegexManager &M) : M(M) {
+TrManager::TrManager(RegexManager &Mgr) : M(Mgr) {
   BotTr = leaf(M.empty());
   TopTr = leaf(M.top());
 }
@@ -23,6 +24,9 @@ Tr TrManager::intern(TrNode Node) {
   for (Tr Kid : Node.Kids)
     H = hashCombine(H, Kid.Id);
   Node.Hash = H;
+#if SBD_AUDIT
+  const size_t SizeBefore = Nodes.size();
+#endif
   uint32_t Id = ConsTable.findOrInsert(
       H,
       [&](uint32_t Cand) {
@@ -36,6 +40,10 @@ Tr TrManager::intern(TrNode Node) {
         return NewId;
       },
       Stats);
+#if SBD_AUDIT
+  if (Nodes.size() != SizeBefore)
+    SBD_AUDIT_TR_NODE(*this, Tr{Id});
+#endif
   return Tr{Id};
 }
 
@@ -251,6 +259,7 @@ Tr TrManager::dnf(Tr T) {
   if (DnfMemo.size() <= T.Id)
     DnfMemo.resize(Nodes.size(), MissingId);
   DnfMemo[T.Id] = Result.Id;
+  SBD_AUDIT_DNF(*this, Result);
   return Result;
 }
 
@@ -427,13 +436,14 @@ std::vector<TrArc> TrManager::arcs(Tr T) const {
   collectArcs(T, CharSet::full(), Raw);
   // Merge arcs by target, preserving first-appearance order.
   std::vector<TrArc> Out;
-  std::unordered_map<uint32_t, size_t> Index;
+  FlatMap64 Index; // Target.Id -> index in Out
   for (TrArc &A : Raw) {
-    auto [It, Inserted] = Index.emplace(A.Target.Id, Out.size());
-    if (Inserted)
+    if (const uint32_t *At = Index.find(A.Target.Id)) {
+      Out[*At].Guard = Out[*At].Guard.unionWith(A.Guard);
+    } else {
+      Index.insert(A.Target.Id, static_cast<uint32_t>(Out.size()));
       Out.push_back(std::move(A));
-    else
-      Out[It->second].Guard = Out[It->second].Guard.unionWith(A.Guard);
+    }
   }
   SBD_OBS_ADD(ArcsEnumerated, Out.size());
   return Out;

@@ -72,6 +72,7 @@ public:
   explicit TrManager(RegexManager &M);
 
   RegexManager &regexManager() { return M; }
+  const RegexManager &regexManager() const { return M; }
   const TrNode &node(Tr T) const { return Nodes[T.Id]; }
   TrKind kind(Tr T) const { return Nodes[T.Id].Kind; }
   size_t numNodes() const { return Nodes.size(); }
@@ -84,6 +85,11 @@ public:
   /// Interning/memo counters.
   const CacheStats &stats() const { return Stats; }
   void resetStats() { Stats.reset(); }
+
+  /// Test-only backdoor for the audit negative tests (tests/AuditTest.cpp):
+  /// mutable access to interned storage so a test can corrupt an invariant
+  /// and prove sbd::audit detects it. Never call outside audit tests.
+  TrNode &mutableNodeForAudit(Tr T) { return Nodes[T.Id]; }
 
   /// --- Constructors (normalizing) ------------------------------------------
 

@@ -49,7 +49,7 @@ namespace {
 
 class Parser {
 public:
-  explicit Parser(const std::string &In) : In(In) {}
+  explicit Parser(const std::string &Text) : In(Text) {}
 
   JsonParseResult run() {
     JsonParseResult R;

@@ -49,7 +49,7 @@ namespace {
 /// policy's field variables (quoted symbols), collecting the fields seen.
 class ConditionCompiler {
 public:
-  ConditionCompiler(RegexManager &M) : M(M) {}
+  ConditionCompiler(RegexManager &Mgr) : M(Mgr) {}
 
   std::optional<std::string> compile(const JsonValue &Cond) {
     if (!Cond.isObject()) {

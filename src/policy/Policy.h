@@ -49,7 +49,7 @@ struct PolicyAnalysis {
 /// Compiles and analyzes policies against the regex solver.
 class PolicyChecker {
 public:
-  explicit PolicyChecker(RegexSolver &Solver) : Solver(Solver) {}
+  explicit PolicyChecker(RegexSolver &S) : Solver(S) {}
 
   /// Parses a JSON policy document and decides whether its "if" condition
   /// is satisfiable (the rule can fire), returning an activating witness.

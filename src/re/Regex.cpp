@@ -1,7 +1,9 @@
 //===- re/Regex.cpp - Symbolic extended regular expressions ----------------===//
+// sbd-lint: hot-path
 
 #include "re/Regex.h"
 
+#include "analysis/AuditHooks.h"
 #include "support/Debug.h"
 #include "support/Hashing.h"
 
@@ -63,6 +65,9 @@ bool RegexManager::nodeEquals(const RegexNode &A, const RegexNode &B) const {
 Re RegexManager::intern(RegexNode Node) {
   uint64_t H = hashNode(Node);
   Node.Hash = H;
+#if SBD_AUDIT
+  const size_t SizeBefore = Nodes.size();
+#endif
   uint32_t Id = ConsTable.findOrInsert(
       H, [&](uint32_t Cand) { return nodeEquals(Nodes[Cand], Node); },
       [&] {
@@ -71,6 +76,10 @@ Re RegexManager::intern(RegexNode Node) {
         return NewId;
       },
       Stats);
+#if SBD_AUDIT
+  if (Nodes.size() != SizeBefore)
+    SBD_AUDIT_RE_NODE(*this, Re{Id});
+#endif
   return Re{Id};
 }
 

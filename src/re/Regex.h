@@ -144,6 +144,12 @@ public:
   /// Number of interned nodes (diagnostics).
   size_t numNodes() const { return Nodes.size(); }
 
+  /// Test-only backdoor for the audit negative tests (tests/AuditTest.cpp):
+  /// mutable access to interned storage so a test can corrupt an invariant
+  /// and prove sbd::audit detects it. Breaks the hash-consing contract —
+  /// never call outside audit tests.
+  RegexNode &mutableNodeForAudit(Re R) { return Nodes[R.Id]; }
+
   /// --- Capacity & instrumentation -----------------------------------------
 
   /// Pre-sizes the node arena and interning tables for roughly \p NumNodes

@@ -15,8 +15,8 @@ namespace {
 /// Recursive-descent parser over decoded code points.
 class Parser {
 public:
-  Parser(RegexManager &M, const std::string &Pattern)
-      : M(M), In(fromUtf8(Pattern)) {}
+  Parser(RegexManager &Mgr, const std::string &Pattern)
+      : M(Mgr), In(fromUtf8(Pattern)) {}
 
   RegexParseResult run() {
     Re R = parseUnion();

@@ -10,7 +10,7 @@ namespace {
 
 class Reader {
 public:
-  explicit Reader(const std::string &In) : In(In) {}
+  explicit Reader(const std::string &Text) : In(Text) {}
 
   SExprParseResult run() {
     SExprParseResult R;

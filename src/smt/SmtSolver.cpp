@@ -23,8 +23,8 @@ struct Atom {
 /// The per-script compilation and solving context.
 class Script {
 public:
-  Script(RegexSolver &Solver, const SolveOptions &Opts)
-      : Solver(Solver), M(Solver.regexManager()), Opts(Opts) {}
+  Script(RegexSolver &S, const SolveOptions &Options)
+      : Solver(S), M(S.regexManager()), Opts(Options) {}
 
   SmtResult run(const std::string &Text) {
     SExprParseResult Parsed = parseSExprs(Text);

@@ -56,7 +56,7 @@ struct SmtResult {
 /// SMT-LIB driver on top of the symbolic-Boolean-derivative regex solver.
 class SmtSolver {
 public:
-  explicit SmtSolver(RegexSolver &Solver) : Solver(Solver) {}
+  explicit SmtSolver(RegexSolver &S) : Solver(S) {}
 
   /// Parses and solves a whole script (up to its first check-sat).
   SmtResult solveScript(const std::string &Script,

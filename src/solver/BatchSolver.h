@@ -66,7 +66,7 @@ struct BatchOptions {
 /// Fans independent queries over thread-local solver stacks.
 class BatchSolver {
 public:
-  explicit BatchSolver(BatchOptions Opts = {}) : Opts(Opts) {}
+  explicit BatchSolver(BatchOptions Options = {}) : Opts(Options) {}
 
   /// Solves all queries; `result[i]` answers `Queries[i]`.
   std::vector<BatchResult> solveAll(const std::vector<BatchQuery> &Queries);

@@ -49,9 +49,9 @@ enum class DeadDetection : uint8_t {
 /// The persistent reachability graph over derivative regexes.
 class DerivativeGraph {
 public:
-  explicit DerivativeGraph(RegexManager &M,
-                           DeadDetection Mode = DeadDetection::IncrementalScc)
-      : M(M), Mode(Mode) {}
+  explicit DerivativeGraph(RegexManager &Mgr,
+                           DeadDetection Detect = DeadDetection::IncrementalScc)
+      : M(Mgr), Mode(Detect) {}
 
   /// Interns \p R as a vertex (no-op if present); returns its index.
   uint32_t addVertex(Re R);

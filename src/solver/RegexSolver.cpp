@@ -2,6 +2,7 @@
 
 #include "solver/RegexSolver.h"
 
+#include "analysis/AuditHooks.h"
 #include "support/Stopwatch.h"
 #include "support/Trace.h"
 
@@ -90,6 +91,9 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
 #endif
     Span.arg("status", std::string(statusName(Result.Status)));
     Span.arg("states", static_cast<uint64_t>(Result.StatesExplored));
+    // SBD_AUDIT builds: re-verify the similarity/NNF invariants over both
+    // live arenas before handing the result back (compiles out by default).
+    SBD_AUDIT_CHECKSAT_EXIT(M, T);
   };
 
   // Breadth-first unfolding of the der/ite/or/ere rules. Each queue entry is
@@ -198,7 +202,6 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
       // DFS pops from the back, so order large-to-small to explore the
       // syntactically smallest residue first; BFS gains the same bias in
       // dequeue order by sorting small-to-large.
-      bool Dfs = Opts.Strategy == SearchStrategy::Dfs;
       std::stable_sort(Arcs.begin(), Arcs.end(),
                        [&](const TrArc &A, const TrArc &B) {
                          uint32_t SA = M.node(A.Target).Size;

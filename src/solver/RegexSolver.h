@@ -37,10 +37,10 @@ struct MembershipLiteral {
 /// The derivative-based regex satisfiability solver.
 class RegexSolver {
 public:
-  explicit RegexSolver(DerivativeEngine &Engine,
+  explicit RegexSolver(DerivativeEngine &Eng,
                        DeadDetection Mode = DeadDetection::IncrementalScc)
-      : Engine(Engine), M(Engine.regexManager()), T(Engine.trManager()),
-        Graph(Engine.regexManager(), Mode) {}
+      : Engine(Eng), M(Eng.regexManager()), T(Eng.trManager()),
+        Graph(Eng.regexManager(), Mode) {}
 
   /// Decides satisfiability of in(s, R) for an uninterpreted s: is L(R)
   /// nonempty? Returns a shortest witness on Sat.

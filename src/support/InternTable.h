@@ -1,4 +1,5 @@
 //===- support/InternTable.h - Flat open-addressing hash tables -------------===//
+// sbd-lint: hot-path
 ///
 /// \file
 /// The two flat hash containers the hot path runs on, replacing the earlier

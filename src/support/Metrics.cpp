@@ -44,6 +44,10 @@ const char *sbd::obs::counterName(Counter C) {
     return "probe_steps";
   case Counter::Lookups:
     return "lookups";
+  case Counter::AuditNodesChecked:
+    return "audit_nodes_checked";
+  case Counter::AuditViolations:
+    return "audit_violations";
   case Counter::ParseTimeUs:
     return "parse_time_us";
   case Counter::DeriveTimeUs:

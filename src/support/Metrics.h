@@ -82,6 +82,9 @@ enum class Counter : uint32_t {
   MemoMisses,
   ProbeSteps,
   Lookups,
+  // Invariant auditor (analysis/Audit.h; counts only under SBD_AUDIT builds).
+  AuditNodesChecked,   ///< nodes/interval-lists visited by audit hooks
+  AuditViolations,     ///< invariant violations the hooks detected
   // Phase timings, microseconds (counters so they shard/merge like the rest).
   ParseTimeUs,
   DeriveTimeUs,
@@ -225,15 +228,20 @@ struct CacheStats {
 
   double internHitRate() const {
     uint64_t Total = InternHits + InternMisses;
-    return Total ? static_cast<double>(InternHits) / Total : 0.0;
+    return Total ? static_cast<double>(InternHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
   }
   double memoHitRate() const {
     uint64_t Total = MemoHits + MemoMisses;
-    return Total ? static_cast<double>(MemoHits) / Total : 0.0;
+    return Total ? static_cast<double>(MemoHits) / static_cast<double>(Total)
+                 : 0.0;
   }
   /// Mean probe steps per lookup (1.0 = every key found in its home slot).
   double avgProbeLength() const {
-    return Lookups ? static_cast<double>(ProbeSteps) / Lookups : 0.0;
+    return Lookups ? static_cast<double>(ProbeSteps) /
+                         static_cast<double>(Lookups)
+                   : 0.0;
   }
 
   /// One-line human-readable rendering for benchmark output.

@@ -98,8 +98,8 @@ private:
 /// nothing — including if the tracer is switched on mid-lifetime.
 class ScopedSpan {
 public:
-  ScopedSpan(const char *Name, const char *Cat = "sbd")
-      : Name(Name), Cat(Cat), Live(Tracer::active()) {
+  ScopedSpan(const char *SpanName, const char *SpanCat = "sbd")
+      : Name(SpanName), Cat(SpanCat), Live(Tracer::active()) {
     if (Live)
       StartUs = Tracer::global().nowUs();
   }
