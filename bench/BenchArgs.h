@@ -17,6 +17,10 @@
 ///                      or Perfetto)
 ///   --stats-json <file> write the merged counter registry plus the summed
 ///                      per-query SolveStats as a flat JSON document
+///   --json <file>      write the harness's own result summary (per-group
+///                      timings etc.) as JSON — the machine-readable twin
+///                      of the human table, consumed by the perf-smoke
+///                      guard in scripts/check.sh
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +45,7 @@ struct BenchArgs {
   bool Quick = false;
   std::string TraceFile;
   std::string StatsJsonFile;
+  std::string JsonFile;
   SolveOptions Opts;
 
   static BenchArgs parse(int Argc, char **Argv) {
@@ -74,11 +79,13 @@ struct BenchArgs {
         A.TraceFile = need("--trace");
       else if (!std::strcmp(Argv[I], "--stats-json"))
         A.StatsJsonFile = need("--stats-json");
+      else if (!std::strcmp(Argv[I], "--json"))
+        A.JsonFile = need("--json");
       else {
         std::fprintf(stderr,
                      "usage: %s [--scale f] [--timeout-ms n] "
                      "[--max-states n] [--seed n] [--threads n] [--quick] "
-                     "[--trace file] [--stats-json file]\n",
+                     "[--trace file] [--stats-json file] [--json file]\n",
                      Argv[0]);
         std::exit(1);
       }

@@ -19,6 +19,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -293,18 +294,33 @@ BENCHMARK(BM_GraphDeadStateReuse);
 } // namespace
 
 /// Custom main so the harness accepts `--quick` (a short smoke run used by
-/// scripts/check.sh) on top of the standard google-benchmark flags.
+/// scripts/check.sh) and `--json <path>` (machine-readable results for the
+/// perf-smoke guard) on top of the standard google-benchmark flags.
 int main(int Argc, char **Argv) {
   std::vector<char *> Args(Argv, Argv + Argc);
   static char MinTime[] = "--benchmark_min_time=0.01";
+  static char OutFormat[] = "--benchmark_out_format=json";
+  static std::string OutFlag;
   bool Quick = false;
   for (auto It = Args.begin(); It != Args.end();) {
     if (!std::strcmp(*It, "--quick")) {
       Quick = true;
       It = Args.erase(It);
+    } else if (!std::strcmp(*It, "--json")) {
+      It = Args.erase(It);
+      if (It == Args.end()) {
+        std::fprintf(stderr, "error: --json needs a path\n");
+        return 1;
+      }
+      OutFlag = std::string("--benchmark_out=") + *It;
+      It = Args.erase(It);
     } else {
       ++It;
     }
+  }
+  if (!OutFlag.empty()) {
+    Args.insert(Args.begin() + 1, OutFormat);
+    Args.insert(Args.begin() + 1, OutFlag.data());
   }
   if (Quick)
     Args.insert(Args.begin() + 1, MinTime);

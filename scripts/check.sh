@@ -12,8 +12,23 @@
 #   - ASan+UBSan              full suite (mandatory, not opt-in)
 #
 #   scripts/check.sh          # everything above
+#   scripts/check.sh --quick  # release bench run only; refreshes the
+#                             # checked-in BENCH_PR4.json perf baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# --quick: rebuild the release benches, run them at --quick scale with
+# machine-readable output, and snapshot the result as the perf baseline the
+# full run guards against.
+if [ "${1:-}" = "--quick" ]; then
+  cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release --target bench_micro bench_smt_corpus
+  build-release/bench/bench_micro --quick --json /tmp/sbd-bench-micro.json
+  build-release/bench/bench_smt_corpus --quick --json /tmp/sbd-bench-corpus.json
+  python3 scripts/perf_smoke.py snapshot /tmp/sbd-bench-micro.json \
+    /tmp/sbd-bench-corpus.json BENCH_PR4.json
+  exit 0
+fi
 
 cmake -B build -G Ninja
 cmake --build build
@@ -37,13 +52,19 @@ done
 # (or only crash) under optimization, and keeps the --quick flag working.
 cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release --target bench_micro bench_batch bench_smt_corpus
-build-release/bench/bench_micro --quick
+build-release/bench/bench_micro --quick --json /tmp/sbd-bench-micro.json
 build-release/bench/bench_batch --threads 2 --scale 0.02
 
 # Stats smoke: the observability outputs must stay valid JSON with the
 # documented keys (DESIGN.md §8).
 build-release/bench/bench_smt_corpus --quick --trace /tmp/sbd-trace.json \
-  --stats-json /tmp/sbd-stats.json
+  --stats-json /tmp/sbd-stats.json --json /tmp/sbd-bench-corpus.json
+
+# Perf-smoke guard: the fresh --quick numbers must stay within a generous
+# tolerance of the checked-in BENCH_PR4.json baseline (skips cleanly when
+# no baseline is checked in; refresh with `scripts/check.sh --quick`).
+python3 scripts/perf_smoke.py compare BENCH_PR4.json \
+  /tmp/sbd-bench-micro.json /tmp/sbd-bench-corpus.json
 if command -v python3 > /dev/null; then
   python3 - <<'EOF'
 import json

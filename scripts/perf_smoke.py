@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Perf-smoke guard over the --quick benchmark JSON outputs.
+
+Two modes:
+
+  perf_smoke.py snapshot <micro.json> <corpus.json> <out.json>
+      Condense one --quick run of bench_micro (--json) and bench_smt_corpus
+      (--json) into the checked-in baseline snapshot (BENCH_PR4.json).
+
+  perf_smoke.py compare <baseline.json> <micro.json> <corpus.json>
+      Compare a fresh --quick run against the snapshot. A benchmark that got
+      more than TOLERANCE times slower than the baseline fails the check.
+      The tolerance is deliberately generous: --quick timings are noisy and
+      the guard is meant to catch order-of-magnitude perf-path regressions
+      (an accidentally disabled cache, a quadratic loop), not 10% drift.
+      Exits 0 with a message when the baseline is absent, so fresh clones
+      and non-perf branches are not blocked.
+
+The guard also asserts dense_row_hits > 0 on the corpus run: the solver's
+dense-row replay path must actually fire, not just compile.
+"""
+
+import json
+import sys
+
+TOLERANCE = 2.5
+
+# Micro benchmarks below this baseline time are dominated by harness noise
+# at --quick scale; they are recorded but not compared.
+MIN_COMPARE_NS = 200.0
+
+
+def load_micro(path):
+    """name -> real_time in ns from a google-benchmark JSON report."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        out[b["name"]] = float(b["real_time"]) * scale
+    return out
+
+
+def load_corpus(path):
+    with open(path) as f:
+        doc = json.load(f)
+    groups = {g["name"]: float(g["direct_ms"]) for g in doc.get("groups", [])}
+    counters = doc.get("counters", {})
+    return groups, counters
+
+
+def snapshot(micro_path, corpus_path, out_path):
+    groups, counters = load_corpus(corpus_path)
+    doc = {
+        "tolerance": TOLERANCE,
+        "micro_ns": load_micro(micro_path),
+        "corpus_direct_ms": groups,
+        "corpus_counters": {
+            k: counters[k]
+            for k in ("dense_row_hits", "dfa_states_built", "dfa_evictions",
+                      "alphabet_minterms")
+            if k in counters
+        },
+    }
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"perf-smoke: wrote snapshot {out_path}")
+
+
+def compare(baseline_path, micro_path, corpus_path):
+    try:
+        with open(baseline_path) as f:
+            base = json.load(f)
+    except FileNotFoundError:
+        print(f"perf-smoke: no baseline at {baseline_path}, skipping "
+              "(run 'scripts/check.sh --quick' to create one)")
+        return 0
+
+    tol = float(base.get("tolerance", TOLERANCE))
+    failures = []
+    compared = 0
+
+    cur_micro = load_micro(micro_path)
+    for name, base_ns in sorted(base.get("micro_ns", {}).items()):
+        cur_ns = cur_micro.get(name)
+        if cur_ns is None or base_ns < MIN_COMPARE_NS:
+            continue
+        compared += 1
+        if cur_ns > tol * base_ns:
+            failures.append(
+                f"  micro {name}: {cur_ns:.0f}ns vs baseline "
+                f"{base_ns:.0f}ns ({cur_ns / base_ns:.2f}x > {tol}x)")
+
+    cur_groups, cur_counters = load_corpus(corpus_path)
+    for name, base_ms in sorted(base.get("corpus_direct_ms", {}).items()):
+        cur_ms = cur_groups.get(name)
+        if cur_ms is None or base_ms <= 0.5:  # sub-ms groups are noise
+            continue
+        compared += 1
+        if cur_ms > tol * base_ms:
+            failures.append(
+                f"  corpus {name}: {cur_ms:.1f}ms vs baseline "
+                f"{base_ms:.1f}ms ({cur_ms / base_ms:.2f}x > {tol}x)")
+
+    hits = cur_counters.get("dense_row_hits", 0)
+    if hits <= 0:
+        failures.append(
+            "  corpus dense_row_hits == 0: the dense-row replay path never "
+            "fired")
+
+    if failures:
+        print("perf-smoke: REGRESSION vs " + baseline_path)
+        print("\n".join(failures))
+        print("If the slowdown is intended, refresh the baseline with "
+              "'scripts/check.sh --quick'.")
+        return 1
+    print(f"perf-smoke: ok ({compared} series within {tol}x, "
+          f"dense_row_hits={hits})")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 5 and argv[1] == "snapshot":
+        snapshot(argv[2], argv[3], argv[4])
+        return 0
+    if len(argv) == 5 and argv[1] == "compare":
+        return compare(argv[2], argv[3], argv[4])
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,8 @@
 
 #include "automata/Dot.h"
 
+#include "charset/AlphabetCompressor.h"
+
 using namespace sbd;
 
 namespace {
@@ -39,11 +41,11 @@ std::string sbd::sbfaToDot(const Sbfa &A) {
       continue;
     std::vector<CharSet> Guards;
     T.collectGuards(A.transition(Q), Guards);
-    for (const CharSet &Block : computeMinterms(Guards)) {
-      auto Rep = Block.sample();
-      if (!Rep)
-        continue;
-      BE Target = A.configAfter(B, Q, *Rep);
+    AlphabetCompressor Compressor(Guards);
+    for (uint32_t Cls = 0; Cls != Compressor.numClasses(); ++Cls) {
+      CharSet Block = Compressor.classSet(static_cast<uint16_t>(Cls));
+      uint32_t Rep = Compressor.representative(static_cast<uint16_t>(Cls));
+      BE Target = A.configAfter(B, Q, Rep);
       if (Target == B.falseExpr())
         continue;
       std::string Label = dotEscape(Block.str());

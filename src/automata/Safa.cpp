@@ -2,6 +2,7 @@
 
 #include "automata/Safa.h"
 
+#include "charset/AlphabetCompressor.h"
 #include "support/Debug.h"
 
 #include <cassert>
@@ -64,10 +65,11 @@ Safa Safa::fromSbfa(const Sbfa &A) {
   for (uint32_t Q = 0; Q != N; ++Q) {
     std::vector<CharSet> Guards;
     T.collectGuards(A.transition(Q), Guards);
-    for (const CharSet &Block : computeMinterms(Guards)) {
-      auto Rep = Block.sample();
-      assert(Rep && "minterms are nonempty");
-      BE Raw = A.configAfter(*S.Exprs, Q, *Rep);
+    AlphabetCompressor Compressor(Guards);
+    for (uint32_t Cls = 0; Cls != Compressor.numClasses(); ++Cls) {
+      CharSet Block = Compressor.classSet(static_cast<uint16_t>(Cls));
+      uint32_t Rep = Compressor.representative(static_cast<uint16_t>(Cls));
+      BE Raw = A.configAfter(*S.Exprs, Q, Rep);
       BE Target = nnfWithShadows(*S.Exprs, Raw, true, N);
       if (Target != S.Exprs->falseExpr()) {
         S.ByState[Q].push_back(static_cast<uint32_t>(S.Transitions.size()));

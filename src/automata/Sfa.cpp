@@ -2,6 +2,8 @@
 
 #include "automata/Sfa.h"
 
+#include "charset/AlphabetCompressor.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -269,22 +271,25 @@ std::optional<Sdfa> Sdfa::determinize(const Snfa &A, size_t MaxStates) {
     std::vector<uint32_t> Set = Work.front();
     Work.pop_front();
     uint32_t From = Index.at(Set);
-    // Local mintermization of the outgoing guards of this subset.
+    // Local mintermization of the outgoing guards of this subset: one probe
+    // of the class representative decides the whole minterm block.
     std::vector<CharSet> Guards;
     for (uint32_t S : Set)
       for (const auto &[Guard, To] : A.Trans[S])
         Guards.push_back(Guard);
-    for (const CharSet &Block : computeMinterms(Guards)) {
+    AlphabetCompressor Compressor(Guards);
+    for (uint32_t Cls = 0; Cls != Compressor.numClasses(); ++Cls) {
+      uint32_t Rep = Compressor.representative(static_cast<uint16_t>(Cls));
       std::vector<uint32_t> Targets;
-      auto Rep = Block.minElement();
       for (uint32_t S : Set)
         for (const auto &[Guard, To] : A.Trans[S])
-          if (Guard.contains(*Rep))
+          if (Guard.contains(Rep))
             Targets.push_back(To);
       auto To = internSet(std::move(Targets)); // ∅ = the sink state
       if (!To)
         return std::nullopt;
-      D.Trans[From].push_back({Block, *To});
+      D.Trans[From].push_back(
+          {Compressor.classSet(static_cast<uint16_t>(Cls)), *To});
     }
   }
   return D;

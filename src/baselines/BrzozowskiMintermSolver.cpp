@@ -2,6 +2,7 @@
 
 #include "baselines/BrzozowskiMintermSolver.h"
 
+#include "charset/AlphabetCompressor.h"
 #include "support/Stopwatch.h"
 
 #include <algorithm>
@@ -19,12 +20,11 @@ SolveResult BrzozowskiMintermSolver::solve(Re R, const SolveOptions &Opts) {
   // Eager alphabet finitization: one representative per minterm of ΨR.
   // D_a(R') = D_b(R') for â = b̂ whenever R' is a derivative of R, so the
   // representatives cover all behaviours (Theorem 7.1's argument).
-  std::vector<CharSet> Preds = M.collectPredicates(R);
-  std::vector<CharSet> Minterms = computeMinterms(Preds);
+  AlphabetCompressor Compressor(M.collectPredicates(R));
   std::vector<uint32_t> Letters;
-  Letters.reserve(Minterms.size());
-  for (const CharSet &Block : Minterms)
-    Letters.push_back(*Block.sample());
+  Letters.reserve(Compressor.numClasses());
+  for (uint32_t Cls = 0; Cls != Compressor.numClasses(); ++Cls)
+    Letters.push_back(Compressor.representative(static_cast<uint16_t>(Cls)));
 
   struct Reached {
     Re Parent;

@@ -2,11 +2,11 @@
 
 #include "charset/CharSet.h"
 
+#include "charset/AlphabetCompressor.h"
 #include "support/Hashing.h"
 #include "support/Metrics.h"
 
 #include <algorithm>
-#include <map>
 
 using namespace sbd;
 
@@ -144,10 +144,14 @@ std::optional<uint32_t> CharSet::sample() const {
   if (Ranges.empty())
     return std::nullopt;
   // Prefer a printable ASCII representative so witness strings read well.
-  static const CharSet Printable = CharSet::range(0x21, 0x7E);
-  CharSet Nice = intersectWith(Printable);
-  if (!Nice.isEmpty())
-    return Nice.minElement();
+  // In-place scan (no temporary set): ranges are sorted, so the first range
+  // reaching [0x21, 0x7E] holds the smallest printable member.
+  for (const CharRange &R : Ranges) {
+    if (R.Lo > 0x7E)
+      break;
+    if (R.Hi >= 0x21)
+      return std::max<uint32_t>(R.Lo, 0x21);
+  }
   return minElement();
 }
 
@@ -226,36 +230,10 @@ std::string CharSet::str() const {
 
 std::vector<CharSet> sbd::computeMinterms(const std::vector<CharSet> &Sets) {
   SBD_OBS_INC(MintermComputations);
-  // Boundary sweep: split the domain at every interval start and one-past-end
-  // point, then group elementary segments by their membership signature.
-  std::vector<uint32_t> Bounds;
-  Bounds.push_back(0);
-  for (const CharSet &S : Sets) {
-    for (const CharRange &R : S.ranges()) {
-      Bounds.push_back(R.Lo);
-      if (R.Hi < MaxCodePoint)
-        Bounds.push_back(R.Hi + 1);
-    }
-  }
-  std::sort(Bounds.begin(), Bounds.end());
-  Bounds.erase(std::unique(Bounds.begin(), Bounds.end()), Bounds.end());
-
-  size_t NumWords = (Sets.size() + 63) / 64;
-  // Signature -> accumulated ranges for that minterm.
-  std::map<std::vector<uint64_t>, std::vector<CharRange>> Groups;
-  for (size_t I = 0; I != Bounds.size(); ++I) {
-    uint32_t Lo = Bounds[I];
-    uint32_t Hi = (I + 1 < Bounds.size()) ? Bounds[I + 1] - 1 : MaxCodePoint;
-    std::vector<uint64_t> Sig(NumWords, 0);
-    for (size_t S = 0; S != Sets.size(); ++S)
-      if (Sets[S].contains(Lo))
-        Sig[S / 64] |= (1ULL << (S % 64));
-    Groups[Sig].push_back({Lo, Hi});
-  }
-  std::vector<CharSet> Out;
-  Out.reserve(Groups.size());
-  for (auto &[Sig, Rs] : Groups)
-    Out.push_back(CharSet::fromRanges(std::move(Rs)));
+  // One partition sweep implementation for the whole library: build the
+  // compressor and read the blocks back out. Classes are ordered by minimum
+  // element, so the result is deterministic.
+  std::vector<CharSet> Out = AlphabetCompressor(Sets).classSets();
   SBD_OBS_ADD(MintermsProduced, Out.size());
   return Out;
 }

@@ -39,8 +39,10 @@ struct WorkerStack {
   }
 };
 
-/// Solves one query on the given stack.
-BatchResult solveOne(WorkerStack &W, const BatchQuery &Q) {
+/// Solves one query on the given stack. \p LongLived marks stacks that
+/// survive across queries (ReuseArenas), where eager dense-row recording
+/// pays for itself on the very next shared vertex.
+BatchResult solveOne(WorkerStack &W, const BatchQuery &Q, bool LongLived) {
   BatchResult Out;
   obs::ScopedSpan Span("query", "batch");
   Span.arg("pattern", Q.Pattern);
@@ -58,7 +60,10 @@ BatchResult solveOne(WorkerStack &W, const BatchQuery &Q) {
     return Out;
   }
   Out.ParseOk = true;
-  Out.Result = W.S.checkSat(Parsed.Value, Q.Opts);
+  SolveOptions Opts = Q.Opts;
+  if (LongLived)
+    Opts.EagerRowRecording = true;
+  Out.Result = W.S.checkSat(Parsed.Value, Opts);
   Out.Result.Stats.ParseUs = ParseUs;
   Out.Result.Stats.TotalUs += ParseUs;
   Out.Result.TimeUs += ParseUs;
@@ -92,7 +97,7 @@ BatchSolver::solveAll(const std::vector<BatchQuery> &Queries) {
         Local += W->stats();
         W = std::make_unique<WorkerStack>();
       }
-      Results[I] = solveOne(*W, Queries[I]);
+      Results[I] = solveOne(*W, Queries[I], Opts.ReuseArenas);
       Dirty = true;
     }
     Local += W->stats();

@@ -8,15 +8,14 @@
 using namespace sbd;
 
 uint32_t DerivativeGraph::addVertex(Re R) {
-  auto It = Index.find(R.Id);
-  if (It != Index.end())
-    return It->second;
+  if (const uint32_t *Hit = Index.find(R.Id))
+    return *Hit;
   uint32_t V = static_cast<uint32_t>(Verts.size());
   Vertex Vx;
   Vx.R = R;
   Vx.Final = M.nullable(R);
   Verts.push_back(std::move(Vx));
-  Index.emplace(R.Id, V);
+  Index.insert(R.Id, V);
   Scc.addVertex(V);
   if (Verts[V].Final)
     markAlive(V);
@@ -47,38 +46,66 @@ void DerivativeGraph::close(Re R, const std::vector<Re> &Targets) {
   DeadDirty = true;
 }
 
+void DerivativeGraph::closeWithRow(Re R, const std::vector<Re> &Targets,
+                                   const std::vector<uint32_t> &Chars) {
+  assert(Targets.size() == Chars.size() && "one witness char per arc");
+  close(R, Targets);
+  uint32_t V = *Index.find(R.Id); // close() interned the vertex
+  if (Verts[V].HasRow)
+    return;
+  Verts[V].ArcRow.reserve(Targets.size() * 2);
+  for (size_t I = 0; I != Targets.size(); ++I) {
+    Verts[V].ArcRow.push_back(Chars[I]);
+    Verts[V].ArcRow.push_back(Targets[I].Id);
+  }
+  Verts[V].HasRow = true;
+}
+
+const std::vector<uint32_t> *DerivativeGraph::arcRow(Re R) const {
+  const uint32_t *Hit = Index.find(R.Id);
+  if (!Hit || !Verts[*Hit].HasRow)
+    return nullptr;
+  return &Verts[*Hit].ArcRow;
+}
+
+void DerivativeGraph::corruptArcRowForTest(Re R, size_t Idx, uint32_t Value) {
+  const uint32_t *Hit = Index.find(R.Id);
+  if (Hit && Verts[*Hit].HasRow && Idx < Verts[*Hit].ArcRow.size())
+    Verts[*Hit].ArcRow[Idx] = Value;
+}
+
 bool DerivativeGraph::isClosed(Re R) const {
-  auto It = Index.find(R.Id);
-  return It != Index.end() && Verts[It->second].Closed;
+  const uint32_t *Hit = Index.find(R.Id);
+  return Hit && Verts[*Hit].Closed;
 }
 
 bool DerivativeGraph::isFinal(Re R) const {
-  auto It = Index.find(R.Id);
-  return It != Index.end() && Verts[It->second].Final;
+  const uint32_t *Hit = Index.find(R.Id);
+  return Hit && Verts[*Hit].Final;
 }
 
 bool DerivativeGraph::isAlive(Re R) {
-  auto It = Index.find(R.Id);
-  return It != Index.end() && Verts[It->second].Alive;
+  const uint32_t *Hit = Index.find(R.Id);
+  return Hit && Verts[*Hit].Alive;
 }
 
 bool DerivativeGraph::isDead(Re R) {
-  auto It = Index.find(R.Id);
-  if (It == Index.end())
+  const uint32_t *Hit = Index.find(R.Id);
+  if (!Hit)
     return false;
   if (Mode == DeadDetection::IncrementalScc)
-    return Scc.isDead(It->second);
+    return Scc.isDead(*Hit);
   if (DeadDirty)
     recomputeDeadLazy();
-  return Verts[It->second].DeadLazy;
+  return Verts[*Hit].DeadLazy;
 }
 
 std::vector<Re> DerivativeGraph::successors(Re R) const {
   std::vector<Re> Out;
-  auto It = Index.find(R.Id);
-  if (It == Index.end())
+  const uint32_t *Hit = Index.find(R.Id);
+  if (!Hit)
     return Out;
-  for (uint32_t W : Verts[It->second].Succ)
+  for (uint32_t W : Verts[*Hit].Succ)
     Out.push_back(Verts[W].R);
   return Out;
 }

@@ -33,9 +33,9 @@
 
 #include "re/Regex.h"
 #include "solver/SccIndex.h"
+#include "support/InternTable.h"
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace sbd {
@@ -57,11 +57,31 @@ public:
   uint32_t addVertex(Re R);
 
   /// True if R is already a vertex.
-  bool hasVertex(Re R) const { return Index.count(R.Id) != 0; }
+  bool hasVertex(Re R) const { return Index.find(R.Id) != nullptr; }
 
   /// The Upd rule (Fig. 3b): records all derivative targets of \p R and
   /// marks it closed. No effect if R is already closed.
   void close(Re R, const std::vector<Re> &Targets);
+
+  /// close() plus the dense successor row: records, alongside the edges,
+  /// the flattened (witness char, target Re.Id) arc pairs of the vertex's
+  /// δdnf expansion. A later query that dequeues the same vertex replays
+  /// the row (see arcRow) instead of recomputing δdnf/arcs/witnesses —
+  /// the minterm-compressed fast path of the exploration loop. The row is
+  /// recorded even when the vertex was already closed edge-wise (e.g. via
+  /// caseSplit, which does not produce witnesses); it is never overwritten.
+  /// \p Chars must parallel \p Targets (one satisfying character per arc).
+  void closeWithRow(Re R, const std::vector<Re> &Targets,
+                    const std::vector<uint32_t> &Chars);
+
+  /// The recorded dense successor row of \p R as flattened (char, Re.Id)
+  /// pairs, or nullptr when the vertex is absent or was closed without a
+  /// row. Arc order is the order of the recording expansion.
+  const std::vector<uint32_t> *arcRow(Re R) const;
+
+  /// Test backdoor: overwrite one element of a recorded row, to prove the
+  /// SBD_AUDIT row checker detects corruption. No-op when out of range.
+  void corruptArcRowForTest(Re R, size_t Idx, uint32_t Value);
 
   /// Is the vertex closed (fully expanded)?
   bool isClosed(Re R) const;
@@ -86,8 +106,11 @@ private:
     bool Closed = false;
     bool Alive = false;
     bool DeadLazy = false;
+    bool HasRow = false;
     std::vector<uint32_t> Succ;
     std::vector<uint32_t> Pred;
+    /// Flattened (witness char, target Re.Id) pairs (see closeWithRow).
+    std::vector<uint32_t> ArcRow;
   };
 
   void markAlive(uint32_t V);
@@ -96,7 +119,7 @@ private:
   RegexManager &M;
   DeadDetection Mode;
   std::vector<Vertex> Verts;
-  std::unordered_map<uint32_t, uint32_t> Index; // Re.Id -> vertex index
+  FlatMap64 Index; // Re.Id -> vertex index
   SccIndex Scc;
   size_t NumEdges = 0;
   bool DeadDirty = false;

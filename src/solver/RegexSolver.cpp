@@ -189,6 +189,30 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
       Queue.pop_front();
     uint32_t Depth = Visited.at(Cur.Id).Depth;
 
+    // Replay fast path: an earlier query already expanded Cur and recorded
+    // its dense successor row (witness char, target Re.Id pairs). Replaying
+    // the row skips δdnf construction, arc extraction, sorting, and guard
+    // sampling entirely. Soundness: Q(δdnf) is deterministic per regex, the
+    // row stores every arc (no determinization — lazy alternation is
+    // preserved), and witnesses stay valid because guards are interned.
+    if (const std::vector<uint32_t> *Row = Graph.arcRow(Cur)) {
+      SBD_OBS_INC(DenseRowHits);
+      SBD_AUDIT_DENSE_ROW(T, Engine.derivativeDnf(Cur), *Row, Cur.Id);
+      for (size_t I = 0; I < Row->size(); I += 2) {
+        uint32_t Ch = (*Row)[I];
+        Re Next{(*Row)[I + 1]};
+        if (Visited.count(Next.Id))
+          continue;
+        Visited.emplace(Next.Id, Reached{Cur, Ch, Depth + 1});
+        if (M.nullable(Next))
+          return finishSat(Next);
+        if (Graph.isDead(Next))
+          continue; // bot rule
+        Queue.push_back(Next);
+      }
+      continue;
+    }
+
     // der rule, |s| > 0 case: unfold δdnf(Cur) and upd the graph.
     Tr Dnf = Engine.derivativeDnf(Cur);
     std::vector<TrArc> Arcs = T.arcs(Dnf);
@@ -209,21 +233,47 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
                          return Dfs ? SA > SB : SA < SB;
                        });
     }
+    // Record the dense row when this is a *re*-expansion (the vertex was
+    // already closed by an earlier query or caseSplit): a vertex seen twice
+    // is likely to be seen again, and recording on the second pass keeps
+    // one-shot queries free of per-vertex row allocations. Long-lived
+    // stacks opt into first-expansion recording instead.
+    bool RecordRow = Opts.EagerRowRecording || Graph.isClosed(Cur);
     std::vector<Re> Targets;
+    std::vector<uint32_t> Chars;
     Targets.reserve(Arcs.size());
-    for (const TrArc &A : Arcs)
-      Targets.push_back(A.Target);
-    Graph.close(Cur, Targets);
-
+    if (RecordRow)
+      Chars.reserve(Arcs.size());
     for (const TrArc &A : Arcs) {
-      Re Next = A.Target;
+      Targets.push_back(A.Target);
+      if (RecordRow) {
+        // Witnesses for the whole row (not just unvisited arcs) so later
+        // queries can replay it verbatim.
+        auto Ch = A.Guard.sample();
+        assert(Ch && "arcs must carry satisfiable guards");
+        Chars.push_back(*Ch);
+      }
+    }
+    if (RecordRow)
+      Graph.closeWithRow(Cur, Targets, Chars);
+    else
+      Graph.close(Cur, Targets);
+
+    for (size_t I = 0; I != Targets.size(); ++I) {
+      Re Next = Targets[I];
       if (Visited.count(Next.Id))
         continue;
       // ite rule: the branch guard must be satisfiable — arcs() guarantees
       // it; pick a concrete representative for the witness.
-      auto Ch = A.Guard.sample();
-      assert(Ch && "arcs must carry satisfiable guards");
-      Visited.emplace(Next.Id, Reached{Cur, *Ch, Depth + 1});
+      uint32_t Ch;
+      if (RecordRow) {
+        Ch = Chars[I];
+      } else {
+        auto Sampled = Arcs[I].Guard.sample();
+        assert(Sampled && "arcs must carry satisfiable guards");
+        Ch = *Sampled;
+      }
+      Visited.emplace(Next.Id, Reached{Cur, Ch, Depth + 1});
       // ere rule: in(s_{k+1}.., Next); ε sub-case checked on dequeue.
       if (M.nullable(Next))
         return finishSat(Next);

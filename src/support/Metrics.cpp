@@ -26,6 +26,14 @@ const char *sbd::obs::counterName(Counter C) {
     return "minterm_computations";
   case Counter::MintermsProduced:
     return "minterms_produced";
+  case Counter::AlphabetMinterms:
+    return "alphabet_minterms";
+  case Counter::DfaStatesBuilt:
+    return "dfa_states_built";
+  case Counter::DfaEvictions:
+    return "dfa_evictions";
+  case Counter::DenseRowHits:
+    return "dense_row_hits";
   case Counter::SolverSteps:
     return "solver_steps";
   case Counter::TimeoutChecks:

@@ -40,44 +40,9 @@ std::string sbd::toUtf8(const std::vector<uint32_t> &Word) {
 
 std::vector<uint32_t> sbd::fromUtf8(const std::string &Bytes) {
   std::vector<uint32_t> Out;
-  size_t I = 0, N = Bytes.size();
-  auto cont = [&](size_t K) {
-    return I + K < N && (static_cast<uint8_t>(Bytes[I + K]) & 0xC0) == 0x80;
-  };
-  while (I < N) {
-    uint8_t B0 = static_cast<uint8_t>(Bytes[I]);
-    if (B0 < 0x80) {
-      Out.push_back(B0);
-      ++I;
-      continue;
-    }
-    if ((B0 & 0xE0) == 0xC0 && cont(1)) {
-      uint32_t Cp = (static_cast<uint32_t>(B0 & 0x1F) << 6) |
-                    (static_cast<uint8_t>(Bytes[I + 1]) & 0x3F);
-      Out.push_back(Cp);
-      I += 2;
-      continue;
-    }
-    if ((B0 & 0xF0) == 0xE0 && cont(1) && cont(2)) {
-      uint32_t Cp = (static_cast<uint32_t>(B0 & 0x0F) << 12) |
-                    ((static_cast<uint8_t>(Bytes[I + 1]) & 0x3F) << 6) |
-                    (static_cast<uint8_t>(Bytes[I + 2]) & 0x3F);
-      Out.push_back(Cp);
-      I += 3;
-      continue;
-    }
-    if ((B0 & 0xF8) == 0xF0 && cont(1) && cont(2) && cont(3)) {
-      uint32_t Cp = (static_cast<uint32_t>(B0 & 0x07) << 18) |
-                    ((static_cast<uint8_t>(Bytes[I + 1]) & 0x3F) << 12) |
-                    ((static_cast<uint8_t>(Bytes[I + 2]) & 0x3F) << 6) |
-                    (static_cast<uint8_t>(Bytes[I + 3]) & 0x3F);
-      Out.push_back(Cp <= MaxCodePoint ? Cp : 0xFFFD);
-      I += 4;
-      continue;
-    }
-    Out.push_back(0xFFFD);
-    ++I;
-  }
+  size_t I = 0;
+  while (I < Bytes.size())
+    Out.push_back(decodeUtf8At(Bytes, I));
   return Out;
 }
 

@@ -32,6 +32,46 @@ std::string toUtf8(const std::vector<uint32_t> &Word);
 /// consume one byte (lossy but total; used only by the front ends).
 std::vector<uint32_t> fromUtf8(const std::string &Bytes);
 
+/// Decodes one code point of \p Bytes starting at offset \p I and advances
+/// \p I past the consumed bytes (same lossy-but-total semantics as
+/// fromUtf8, which is implemented on top of this). Callers that stream a
+/// string character-by-character avoid materializing the code-point vector.
+/// Precondition: I < Bytes.size().
+inline uint32_t decodeUtf8At(const std::string &Bytes, size_t &I) {
+  size_t N = Bytes.size();
+  auto cont = [&](size_t K) {
+    return I + K < N && (static_cast<uint8_t>(Bytes[I + K]) & 0xC0) == 0x80;
+  };
+  uint8_t B0 = static_cast<uint8_t>(Bytes[I]);
+  if (B0 < 0x80) {
+    ++I;
+    return B0;
+  }
+  if ((B0 & 0xE0) == 0xC0 && cont(1)) {
+    uint32_t Cp = (static_cast<uint32_t>(B0 & 0x1F) << 6) |
+                  (static_cast<uint8_t>(Bytes[I + 1]) & 0x3F);
+    I += 2;
+    return Cp;
+  }
+  if ((B0 & 0xF0) == 0xE0 && cont(1) && cont(2)) {
+    uint32_t Cp = (static_cast<uint32_t>(B0 & 0x0F) << 12) |
+                  ((static_cast<uint32_t>(Bytes[I + 1]) & 0x3F) << 6) |
+                  (static_cast<uint8_t>(Bytes[I + 2]) & 0x3F);
+    I += 3;
+    return Cp;
+  }
+  if ((B0 & 0xF8) == 0xF0 && cont(1) && cont(2) && cont(3)) {
+    uint32_t Cp = (static_cast<uint32_t>(B0 & 0x07) << 18) |
+                  ((static_cast<uint32_t>(Bytes[I + 1]) & 0x3F) << 12) |
+                  ((static_cast<uint32_t>(Bytes[I + 2]) & 0x3F) << 6) |
+                  (static_cast<uint8_t>(Bytes[I + 3]) & 0x3F);
+    I += 4;
+    return Cp <= MaxCodePoint ? Cp : 0xFFFD;
+  }
+  ++I;
+  return 0xFFFD;
+}
+
 /// Renders a code point for human consumption: printable ASCII as-is,
 /// everything else as \\uXXXX / \\U{XXXXXX}.
 std::string escapeCodePoint(uint32_t Cp);

@@ -1,0 +1,186 @@
+//===- tests/AlphabetCompressorTest.cpp - Minterm compression tests ---------===//
+
+#include "charset/AlphabetCompressor.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace sbd;
+
+namespace {
+
+/// Exhaustive reference check on a sample of code points: two points get the
+/// same class iff they agree on membership in every predicate.
+std::vector<bool> signatureOf(const std::vector<CharSet> &Preds, uint32_t Cp) {
+  std::vector<bool> Sig;
+  Sig.reserve(Preds.size());
+  for (const CharSet &P : Preds)
+    Sig.push_back(P.contains(Cp));
+  return Sig;
+}
+
+/// Sample points that hit every interval boundary neighborhood plus a spread
+/// of interior/exterior points.
+std::vector<uint32_t> boundarySamples(const std::vector<CharSet> &Preds) {
+  std::set<uint32_t> Pts = {0, 1, 0x7F, 0x80, 0xFF, 0x100, MaxCodePoint - 1,
+                            MaxCodePoint};
+  for (const CharSet &P : Preds)
+    for (const CharRange &R : P.ranges()) {
+      for (uint32_t D : {0u, 1u}) {
+        if (R.Lo >= D)
+          Pts.insert(R.Lo - D);
+        if (R.Lo + D <= MaxCodePoint)
+          Pts.insert(R.Lo + D);
+        if (R.Hi >= D)
+          Pts.insert(R.Hi - D);
+        if (R.Hi + D <= MaxCodePoint)
+          Pts.insert(R.Hi + D);
+      }
+    }
+  return {Pts.begin(), Pts.end()};
+}
+
+/// Full partition validation: classOf agrees with predicate membership on
+/// boundary samples, representatives round-trip, classSets() partition the
+/// domain.
+void expectValidPartition(const std::vector<CharSet> &Preds) {
+  AlphabetCompressor C(Preds);
+  ASSERT_GT(C.numClasses(), 0u);
+
+  // classOf ↔ contains cross-check: same class ⇔ same predicate signature.
+  std::vector<uint32_t> Pts = boundarySamples(Preds);
+  for (uint32_t Cp : Pts) {
+    uint16_t Cls = C.classOf(Cp);
+    ASSERT_LT(Cls, C.numClasses()) << "class id out of range at U+" << Cp;
+    uint32_t Rep = C.representative(Cls);
+    EXPECT_EQ(signatureOf(Preds, Cp), signatureOf(Preds, Rep))
+        << "U+" << Cp << " disagrees with its class representative U+" << Rep;
+    EXPECT_EQ(C.classOf(Rep), Cls) << "representative not in its own class";
+    EXPECT_TRUE(C.classSet(Cls).contains(Cp))
+        << "classSet(" << Cls << ") misses member U+" << Cp;
+  }
+
+  // classSets() is a partition: disjoint, covers the domain.
+  std::vector<CharSet> Blocks = C.classSets();
+  ASSERT_EQ(Blocks.size(), C.numClasses());
+  CharSet Union;
+  uint64_t Total = 0;
+  for (const CharSet &B : Blocks) {
+    EXPECT_FALSE(B.isEmpty());
+    EXPECT_TRUE(Union.intersectWith(B).isEmpty()) << "blocks overlap";
+    Union = Union.unionWith(B);
+    Total += B.count();
+  }
+  EXPECT_TRUE(Union.isFull());
+  EXPECT_EQ(Total, uint64_t(MaxCodePoint) + 1);
+}
+
+TEST(AlphabetCompressor, EmptyPredicateSet) {
+  AlphabetCompressor C{std::vector<CharSet>{}};
+  // No predicates ⇒ one class: the whole alphabet.
+  EXPECT_EQ(C.numClasses(), 1u);
+  EXPECT_EQ(C.classOf('a'), C.classOf(0x10FFFF));
+  EXPECT_TRUE(C.classSet(0).isFull());
+  expectValidPartition({});
+}
+
+TEST(AlphabetCompressor, DefaultConstructedIsTrivial) {
+  AlphabetCompressor C;
+  EXPECT_EQ(C.numClasses(), 1u);
+  EXPECT_EQ(C.classOf(0), 0u);
+  EXPECT_EQ(C.classOf(MaxCodePoint), 0u);
+}
+
+TEST(AlphabetCompressor, AdjacentAndTouchingIntervals) {
+  // [a-m] and [n-z] touch at m|n; [0-4] and [5-9] touch inside the digit
+  // block; the partition must keep all four sides distinct from each other
+  // and from the complement.
+  std::vector<CharSet> Preds = {CharSet::range('a', 'm'),
+                                CharSet::range('n', 'z'),
+                                CharSet::range('0', '4'),
+                                CharSet::range('5', '9')};
+  AlphabetCompressor C(Preds);
+  EXPECT_EQ(C.numClasses(), 5u); // four blocks + everything else
+  EXPECT_NE(C.classOf('m'), C.classOf('n'));
+  EXPECT_NE(C.classOf('4'), C.classOf('5'));
+  EXPECT_EQ(C.classOf('a'), C.classOf('m'));
+  EXPECT_EQ(C.classOf('n'), C.classOf('z'));
+  expectValidPartition(Preds);
+}
+
+TEST(AlphabetCompressor, OverlappingPredicates) {
+  // Overlaps induce strictly finer classes than either predicate alone.
+  std::vector<CharSet> Preds = {CharSet::range('a', 'p'),
+                                CharSet::range('h', 'z')};
+  AlphabetCompressor C(Preds);
+  EXPECT_EQ(C.numClasses(), 4u); // [a-g], [h-p], [q-z], rest
+  EXPECT_NE(C.classOf('a'), C.classOf('h'));
+  EXPECT_NE(C.classOf('h'), C.classOf('q'));
+  EXPECT_NE(C.classOf('a'), C.classOf('q'));
+  expectValidPartition(Preds);
+}
+
+TEST(AlphabetCompressor, MaxCodePointBoundary) {
+  // A predicate ending exactly at U+10FFFF must not emit an off event past
+  // the domain, and the last class must include the boundary point.
+  std::vector<CharSet> Preds = {CharSet::range(0x10FF00, MaxCodePoint),
+                                CharSet::singleton(MaxCodePoint)};
+  AlphabetCompressor C(Preds);
+  EXPECT_TRUE(Preds[0].contains(C.representative(C.classOf(0x10FF42))));
+  EXPECT_NE(C.classOf(0x10FF42), C.classOf(MaxCodePoint));
+  EXPECT_NE(C.classOf(0x10FEFF), C.classOf(0x10FF00));
+  expectValidPartition(Preds);
+}
+
+TEST(AlphabetCompressor, AsciiTableMatchesBinarySearchAtEdge) {
+  // Segments straddling the 0xFF/0x100 edge exercise both lookup paths;
+  // both must yield the same class for points with equal signatures.
+  std::vector<CharSet> Preds = {CharSet::range(0x80, 0x17F),
+                                CharSet::range(0xFF, 0x100)};
+  AlphabetCompressor C(Preds);
+  EXPECT_EQ(C.classOf(0xFF), C.classOf(0x100));  // table path vs search path
+  EXPECT_EQ(C.classOf(0xFE), C.classOf(0x101));  // inside [0x80,0x17F] only
+  EXPECT_NE(C.classOf(0xFF), C.classOf(0xFE));
+  expectValidPartition(Preds);
+}
+
+TEST(AlphabetCompressor, MoreThan64Predicates) {
+  // Over 64 predicates the signature bitvector spans multiple words; 70
+  // disjoint singletons must each get their own class.
+  std::vector<CharSet> Preds;
+  for (uint32_t I = 0; I != 70; ++I)
+    Preds.push_back(CharSet::singleton(0x1000 + 2 * I));
+  AlphabetCompressor C(Preds);
+  EXPECT_EQ(C.numClasses(), 71u); // 70 singletons + everything else
+  std::set<uint16_t> Classes;
+  for (uint32_t I = 0; I != 70; ++I)
+    Classes.insert(C.classOf(0x1000 + 2 * I));
+  EXPECT_EQ(Classes.size(), 70u);
+  expectValidPartition(Preds);
+}
+
+TEST(AlphabetCompressor, RandomizedCrossCheck) {
+  Rng Rand(42);
+  for (int Round = 0; Round != 20; ++Round) {
+    std::vector<CharSet> Preds;
+    size_t N = 1 + Rand.below(8);
+    for (size_t I = 0; I != N; ++I) {
+      std::vector<CharRange> Rs;
+      size_t K = 1 + Rand.below(4);
+      for (size_t J = 0; J != K; ++J) {
+        uint32_t Lo = static_cast<uint32_t>(Rand.below(MaxCodePoint));
+        uint32_t Hi =
+            std::min<uint32_t>(MaxCodePoint,
+                               Lo + static_cast<uint32_t>(Rand.below(0x200)));
+        Rs.push_back({Lo, Hi});
+      }
+      Preds.push_back(CharSet::fromRanges(std::move(Rs)));
+    }
+    expectValidPartition(Preds);
+  }
+}
+
+} // namespace

@@ -68,6 +68,54 @@ TEST_F(CachedMatcherTest, UnicodeRanges) {
   EXPECT_FALSE(Matcher.matches(std::string("x")));
 }
 
+TEST_F(CachedMatcherTest, BoundedCacheEvictsUnderPressure) {
+  // .*a.{10} has ~2^10 reachable derivative states (which of the last 10
+  // positions saw an 'a'); a cap of 64 forces the cache to evict while the
+  // verdicts must stay identical to the uncached engine.
+  Re R = re(".*a.{10}");
+  CachedMatcher::Options Opts;
+  Opts.MaxStates = 64;
+  CachedMatcher Matcher(E, R, Opts);
+
+  Rng Rand(7);
+  for (int W = 0; W != 200; ++W) {
+    std::vector<uint32_t> Word;
+    size_t Len = Rand.below(40);
+    for (size_t J = 0; J != Len; ++J)
+      Word.push_back(Rand.below(4) ? 'b' : 'a');
+    EXPECT_EQ(Matcher.matches(Word), E.matches(R, Word));
+    EXPECT_LE(Matcher.statesMaterialized(), Opts.MaxStates)
+        << "cache exceeded its cap";
+  }
+  EXPECT_GT(Matcher.evictions(), 0u) << "adversarial blowup never evicted";
+  EXPECT_EQ(Matcher.auditRows(), 0u) << "post-eviction rows inconsistent";
+}
+
+TEST_F(CachedMatcherTest, TinyCapFallsBackAndStaysCorrect) {
+  // A cap of 1 cannot hold any row's fan-out targets: after pinning the
+  // expanding state there is no room, so matching degrades to the uncached
+  // derivative path — and must still be exact.
+  Re R = re("(a|b)*abb");
+  CachedMatcher::Options Opts;
+  Opts.MaxStates = 1;
+  CachedMatcher Matcher(E, R, Opts);
+  EXPECT_TRUE(Matcher.matches(std::string("abb")));
+  EXPECT_TRUE(Matcher.matches(std::string("ababb")));
+  EXPECT_FALSE(Matcher.matches(std::string("ab")));
+  EXPECT_GT(Matcher.fallbackSteps(), 0u);
+  EXPECT_LE(Matcher.statesMaterialized(), 1u);
+}
+
+TEST_F(CachedMatcherTest, AuditDetectsCorruptedRow) {
+  CachedMatcher Matcher(E, re("(a|b)*abb"));
+  (void)Matcher.matches(std::string("ababb"));
+  ASSERT_EQ(Matcher.auditRows(), 0u) << "healthy cache must audit clean";
+  // Redirect the initial state's 'a' transition to the dead sink; the row
+  // re-derivation must flag exactly the corrupted entries.
+  Matcher.corruptRowForTest(0, Matcher.compressor().classOf('a'), 0xFFFFFFFFu);
+  EXPECT_GT(Matcher.auditRows(), 0u) << "corruption not detected";
+}
+
 class CachedMatcherPropertyTest : public ::testing::TestWithParam<uint64_t> {
 };
 

@@ -2,6 +2,7 @@
 
 #include "solver/RegexSolver.h"
 
+#include "analysis/Audit.h"
 #include "re/RegexParser.h"
 #include "support/Rng.h"
 
@@ -394,6 +395,46 @@ TEST_F(SolverTest, EmptinessAgreesWithMatcherSampling) {
         }
       }
     }
+}
+
+TEST_F(SolverTest, DenseRowsRecordedAndReplayed) {
+  // The first query closes vertices edge-wise; the second re-expands them
+  // and records dense successor rows; the third replays the rows. All must
+  // agree, and the root's row must match the uncompressed δdnf expansion.
+  Re R = re("(a|b)*abb&~(.*bbb.*)");
+  ASSERT_TRUE(S.checkSat(R).isSat());
+  EXPECT_EQ(S.graph().arcRow(R), nullptr)
+      << "one-shot queries must not pay for row recording";
+
+  ASSERT_TRUE(S.checkSat(R).isSat());
+  const std::vector<uint32_t> *Row = S.graph().arcRow(R);
+  ASSERT_NE(Row, nullptr) << "re-expanded root vertex has no recorded row";
+  ASSERT_FALSE(Row->empty());
+  audit::Report Clean;
+  audit::checkDenseRow(T, E.derivativeDnf(R), *Row, R.Id, Clean);
+  EXPECT_TRUE(Clean.ok()) << Clean.str();
+
+  SolveResult Third = S.checkSat(R);
+  ASSERT_TRUE(Third.isSat());
+  EXPECT_TRUE(E.matches(R, Third.Witness))
+      << "replayed exploration produced a bogus witness";
+}
+
+TEST_F(SolverTest, DenseRowCorruptionIsDetected) {
+  Re R = re("(a|b)*abb");
+  ASSERT_TRUE(S.checkSat(R).isSat());
+  ASSERT_TRUE(S.checkSat(R).isSat()); // second pass records the rows
+  const std::vector<uint32_t> *Row = S.graph().arcRow(R);
+  ASSERT_NE(Row, nullptr);
+  ASSERT_GE(Row->size(), 2u);
+
+  // Corrupt the first pair's target id: the checker re-derives through the
+  // uncompressed δdnf and must flag the unjustified pair.
+  S.graph().corruptArcRowForTest(R, 1, 0x7FFFFFFFu);
+  audit::Report Out;
+  audit::checkDenseRow(T, E.derivativeDnf(R), *Row, R.Id, Out);
+  EXPECT_GT(Out.count(audit::ViolationKind::DfaRowMismatch), 0u)
+      << "corrupted row passed the audit";
 }
 
 } // namespace
