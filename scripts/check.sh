@@ -1,122 +1,47 @@
 #!/usr/bin/env bash
-# One-shot verification: configure, build, run the full test suite, the
-# project lints, a --quick benchmark pass, a Release-mode bench smoke run,
-# and the full static-analysis / sanitizer matrix:
+# One-shot verification. Every step is a shared script under scripts/ci/
+# — the exact same files the GitHub Actions workflow runs — so local
+# verification and CI cannot drift:
 #
-#   - scripts/lint_sbd.py     project-structure lints (always)
-#   - scripts/tidy.sh         clang-tidy vs baseline (when clang-tidy exists)
-#   - SBD_WERROR=ON           -Wall -Wextra -Wshadow -Wconversion -Werror
-#   - SBD_AUDIT=ON            full suite with term-DAG invariant audits live
-#   - SBD_OBS=OFF             observability layer compiles out cleanly
-#   - TSan                    parallel batch solver + obs registry tests
-#   - ASan+UBSan              full suite (mandatory, not opt-in)
+#   - ci/build_and_test.sh    configure + build + full test suite
+#   - ci/lint.sh              lint_sbd.py + clang-tidy vs baseline
+#   - ci/validate_workflow.py GitHub Actions workflow structure lint
+#   - ci/bench_debug.sh       every bench harness at --quick + stats smoke
+#   - ci/perf_smoke.sh        release --quick benches vs BENCH_PR4.json
+#   - ci/fuzz_smoke.sh        differential fuzz campaign + oracle self-check
+#   - ci/werror.sh            -Wall -Wextra -Wshadow -Wconversion -Werror
+#   - ci/audit.sh             full suite with term-DAG invariant audits live
+#   - ci/obs_off.sh           observability layer compiles out cleanly
+#   - ci/tsan.sh              parallel batch solver + obs registry tests
+#   - ci/asan.sh              ASan+UBSan full suite (mandatory, not opt-in)
 #
 #   scripts/check.sh          # everything above
 #   scripts/check.sh --quick  # release bench run only; refreshes the
 #                             # checked-in BENCH_PR4.json perf baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
+CI_DIR=scripts/ci
 
-# --quick: rebuild the release benches, run them at --quick scale with
-# machine-readable output, and snapshot the result as the perf baseline the
-# full run guards against.
+# --quick: rerun the shared release bench step and snapshot the result as
+# the perf baseline the full run (and the CI perf-smoke job) guards
+# against.
 if [ "${1:-}" = "--quick" ]; then
-  cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-release --target bench_micro bench_smt_corpus
-  build-release/bench/bench_micro --quick --json /tmp/sbd-bench-micro.json
-  build-release/bench/bench_smt_corpus --quick --json /tmp/sbd-bench-corpus.json
+  "$CI_DIR"/bench_quick.sh
   python3 scripts/perf_smoke.py snapshot /tmp/sbd-bench-micro.json \
     /tmp/sbd-bench-corpus.json BENCH_PR4.json
   exit 0
 fi
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-
-# Project-structure lints: smart-constructor discipline, hot-path container
-# rules, obs macros compile out. Stdlib-only python, no toolchain deps.
-python3 scripts/lint_sbd.py
-
-# clang-tidy against the checked-in baseline; no-op (exit 0) when clang-tidy
-# is not installed, so this line is safe on minimal containers.
-scripts/tidy.sh build
-
-# Debug-build bench pass at --quick scale: exercises every harness binary's
-# full code path without turning the tier-1 gate into a benchmark run.
-for b in build/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] && "$b" --quick
-done
-
-# Release-mode bench smoke: catches perf-path regressions that only compile
-# (or only crash) under optimization, and keeps the --quick flag working.
-cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release --target bench_micro bench_batch bench_smt_corpus
-build-release/bench/bench_micro --quick --json /tmp/sbd-bench-micro.json
-build-release/bench/bench_batch --threads 2 --scale 0.02
-
-# Stats smoke: the observability outputs must stay valid JSON with the
-# documented keys (DESIGN.md §8).
-build-release/bench/bench_smt_corpus --quick --trace /tmp/sbd-trace.json \
-  --stats-json /tmp/sbd-stats.json --json /tmp/sbd-bench-corpus.json
-
-# Perf-smoke guard: the fresh --quick numbers must stay within a generous
-# tolerance of the checked-in BENCH_PR4.json baseline (skips cleanly when
-# no baseline is checked in; refresh with `scripts/check.sh --quick`).
-python3 scripts/perf_smoke.py compare BENCH_PR4.json \
-  /tmp/sbd-bench-micro.json /tmp/sbd-bench-corpus.json
-if command -v python3 > /dev/null; then
-  python3 - <<'EOF'
-import json
-trace = json.load(open("/tmp/sbd-trace.json"))
-assert trace["traceEvents"], "empty traceEvents"
-assert all(k in trace["traceEvents"][0] for k in ("name", "ph", "ts", "dur"))
-stats = json.load(open("/tmp/sbd-stats.json"))
-for key in ("derivative_calls", "dnf_calls", "memo_hits", "solve_time_us"):
-    assert key in stats["counters"], key
-for key in ("parse_us", "derive_us", "dnf_us", "search_us", "total_us"):
-    assert key in stats["aggregate"], key
-print("stats smoke ok")
-EOF
-else
-  grep -q '"traceEvents"' /tmp/sbd-trace.json
-  grep -q '"derivative_calls"' /tmp/sbd-stats.json
-  grep -q '"search_us"' /tmp/sbd-stats.json
-fi
-
-# Warning hardening: src/ must compile clean under
-# -Wall -Wextra -Wshadow -Wconversion -Werror.
-cmake -B build-werror -G Ninja -DSBD_WERROR=ON
-cmake --build build-werror
-
-# Invariant-audit build: every intern, δdnf result, and checkSat exit is
-# re-verified against the similarity laws (DESIGN.md §9) while the whole
-# suite runs. Any violation prints to stderr; the AuditHooksFeedObsRegistry
-# test additionally asserts the registry stayed at zero violations.
-cmake -B build-audit -G Ninja -DSBD_AUDIT=ON
-cmake --build build-audit
-ctest --test-dir build-audit --output-on-failure
-
-# The observability layer must also compile out cleanly: tests must still
-# pass with every counter bump and span stripped (-DSBD_OBS=OFF).
-cmake -B build-obs0 -G Ninja -DSBD_OBS=OFF
-cmake --build build-obs0 --target solver_test obs_test batch_solver_test \
-  smt_test audit_test
-ctest --test-dir build-obs0 -R 'Solver|Obs|Metrics|Tracer|Batch|Smt|Audit' \
-  --output-on-failure
-
-# ThreadSanitizer: the batch solver spawns the worker threads and the obs
-# registry is the only shared-mutable-state structure they touch, so both
-# test binaries run under TSan.
-cmake -B build-tsan -G Ninja -DSBD_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan --target batch_solver_test obs_test
-ctest --test-dir build-tsan -R 'BatchSolver|Obs|Metrics|Tracer' \
-  --output-on-failure
-
-# AddressSanitizer + UBSan over the full suite. Mandatory: memory bugs in
-# the arena/interning layer are exactly the class the audits cannot see.
-cmake -B build-asan -G Ninja -DSBD_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
-cmake --build build-asan
-ctest --test-dir build-asan --output-on-failure
+"$CI_DIR"/build_and_test.sh build
+"$CI_DIR"/lint.sh build
+python3 "$CI_DIR"/validate_workflow.py
+"$CI_DIR"/bench_debug.sh build
+"$CI_DIR"/perf_smoke.sh
+"$CI_DIR"/fuzz_smoke.sh build
+"$CI_DIR"/werror.sh
+"$CI_DIR"/audit.sh
+"$CI_DIR"/obs_off.sh
+"$CI_DIR"/tsan.sh
+"$CI_DIR"/asan.sh
 
 echo "all checks passed"

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# AddressSanitizer + UBSan over the full suite. Mandatory: memory bugs in
+# the arena/interning layer are exactly the class the audits cannot see.
+. "$(dirname "$0")/common.sh"
+
+require ctest "ships with CMake"
+sbd_configure build-asan -DSBD_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+sbd_build build-asan
+ctest --test-dir build-asan --output-on-failure

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Invariant-audit build: every intern, δdnf result, and checkSat exit is
+# re-verified against the similarity laws (DESIGN.md §9) while the whole
+# suite runs.
+. "$(dirname "$0")/common.sh"
+
+require ctest "ships with CMake"
+sbd_configure build-audit -DSBD_AUDIT=ON
+sbd_build build-audit
+ctest --test-dir build-audit --output-on-failure

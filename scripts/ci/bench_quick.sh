@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Release-mode --quick bench run with machine-readable output. Shared by
+# `check.sh --quick` (which then *snapshots* the numbers as the checked-in
+# baseline) and perf_smoke.sh (which *compares* against that baseline) so
+# the two always measure the same thing.
+#
+# Writes: /tmp/sbd-bench-micro.json, /tmp/sbd-bench-corpus.json
+. "$(dirname "$0")/common.sh"
+
+sbd_configure build-release -DCMAKE_BUILD_TYPE=Release
+sbd_build build-release bench_micro bench_smt_corpus
+build-release/bench/bench_micro --quick --json /tmp/sbd-bench-micro.json
+build-release/bench/bench_smt_corpus --quick --json /tmp/sbd-bench-corpus.json

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build everything, run the full test suite.
+#
+# Usage: build_and_test.sh [build-dir] [extra cmake args...]
+#   BUILD_TYPE=Release|Debug  optional CMAKE_BUILD_TYPE (default: unset)
+. "$(dirname "$0")/common.sh"
+
+BUILD_DIR="${1:-build}"
+shift || true
+
+EXTRA=()
+if [ -n "${BUILD_TYPE:-}" ]; then
+  EXTRA+=(-DCMAKE_BUILD_TYPE="$BUILD_TYPE")
+fi
+
+require ctest "ships with CMake"
+sbd_configure "$BUILD_DIR" ${EXTRA[@]+"${EXTRA[@]}"} "$@"
+sbd_build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Project-structure lints (stdlib-only python) plus clang-tidy vs the
+# checked-in baseline. tidy.sh is a documented no-op when clang-tidy is not
+# installed, so this step is safe on minimal containers; the CI lint job
+# installs clang-tidy so the baseline comparison actually runs there.
+#
+# Usage: lint.sh [build-dir-for-compile-commands]
+. "$(dirname "$0")/common.sh"
+
+require python3 "needed for scripts/lint_sbd.py"
+python3 scripts/lint_sbd.py
+scripts/tidy.sh "${1:-build}"

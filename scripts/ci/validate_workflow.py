@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Structural validation for GitHub Actions workflows (actionlint-lite).
+
+CI containers here don't ship actionlint, so this is the equivalent gate:
+it parses every workflow under .github/workflows/ and checks the mistakes
+that actually break workflows in practice:
+
+  * top level: name / on / jobs present, jobs non-empty
+  * every job has runs-on and a non-empty steps list
+  * every step has exactly one of `uses` / `run`
+  * `uses` references look like owner/repo@ref (or ./local-action)
+  * every `needs` points at a job that exists
+  * every `${{ matrix.X }}` reference is declared in strategy.matrix
+    (include-only keys count)
+  * every repo script referenced by a `run` block exists and, for *.sh /
+    *.py invoked directly, is executable
+
+Stdlib + PyYAML only. Exit 0 when every workflow is clean.
+"""
+
+import os
+import re
+import stat
+import sys
+
+try:
+    import yaml
+except ImportError:
+    print("error: PyYAML is required to validate workflows", file=sys.stderr)
+    sys.exit(1)
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+)
+
+USES_RE = re.compile(r"^(\./|[\w.-]+/[\w.-]+(/[\w./-]+)?@[\w./-]+$)")
+MATRIX_REF_RE = re.compile(r"\$\{\{\s*matrix\.([A-Za-z_][\w-]*)")
+SCRIPT_REF_RE = re.compile(r"(?:^|[\s;&|(])((?:\./)?scripts/[\w./-]+\.(?:sh|py))")
+
+
+def fail(errors, path, where, msg):
+    errors.append(f"{path}: {where}: {msg}")
+
+
+def check_step(errors, path, job_id, idx, step, matrix_keys):
+    where = f"jobs.{job_id}.steps[{idx}]"
+    if not isinstance(step, dict):
+        fail(errors, path, where, "step is not a mapping")
+        return
+    has_uses = "uses" in step
+    has_run = "run" in step
+    if has_uses == has_run:
+        fail(errors, path, where, "step needs exactly one of uses/run")
+        return
+    if has_uses:
+        uses = str(step["uses"])
+        if not USES_RE.match(uses):
+            fail(errors, path, where, f"malformed uses reference '{uses}'")
+    if has_run:
+        run = str(step["run"])
+        for script in SCRIPT_REF_RE.findall(run):
+            rel = script[2:] if script.startswith("./") else script
+            full = os.path.join(REPO_ROOT, rel)
+            if not os.path.isfile(full):
+                fail(errors, path, where, f"references missing file {rel}")
+            elif not os.stat(full).st_mode & stat.S_IXUSR:
+                fail(errors, path, where, f"{rel} is not executable")
+    # Matrix references anywhere in the step body.
+    for ref in MATRIX_REF_RE.findall(yaml.safe_dump(step)):
+        if ref not in matrix_keys:
+            fail(errors, path, where,
+                 f"references undeclared matrix key '{ref}'")
+
+
+def matrix_keys_of(job):
+    strategy = job.get("strategy") or {}
+    matrix = strategy.get("matrix") or {}
+    keys = set()
+    if isinstance(matrix, dict):
+        for k, v in matrix.items():
+            if k in ("include", "exclude"):
+                for combo in v or []:
+                    if isinstance(combo, dict):
+                        keys.update(combo.keys())
+            else:
+                keys.add(k)
+    return keys
+
+
+def check_workflow(errors, path, doc):
+    if not isinstance(doc, dict):
+        fail(errors, path, "top", "workflow is not a mapping")
+        return
+    # PyYAML parses the bare `on:` key as boolean True.
+    if "on" not in doc and True not in doc:
+        fail(errors, path, "top", "missing 'on' trigger block")
+    if "name" not in doc:
+        fail(errors, path, "top", "missing workflow name")
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict) or not jobs:
+        fail(errors, path, "top", "missing or empty jobs block")
+        return
+    for job_id, job in jobs.items():
+        where = f"jobs.{job_id}"
+        if not isinstance(job, dict):
+            fail(errors, path, where, "job is not a mapping")
+            continue
+        if "runs-on" not in job:
+            fail(errors, path, where, "missing runs-on")
+        steps = job.get("steps")
+        if not isinstance(steps, list) or not steps:
+            fail(errors, path, where, "missing or empty steps list")
+            continue
+        needs = job.get("needs", [])
+        if isinstance(needs, str):
+            needs = [needs]
+        for n in needs:
+            if n not in jobs:
+                fail(errors, path, where, f"needs unknown job '{n}'")
+        keys = matrix_keys_of(job)
+        for idx, step in enumerate(steps):
+            check_step(errors, path, job_id, idx, step, keys)
+
+
+def main():
+    wf_dir = os.path.join(REPO_ROOT, ".github", "workflows")
+    if len(sys.argv) > 1:
+        paths = sys.argv[1:]
+    else:
+        if not os.path.isdir(wf_dir):
+            print(f"error: {wf_dir} does not exist", file=sys.stderr)
+            return 1
+        paths = [
+            os.path.join(wf_dir, f)
+            for f in sorted(os.listdir(wf_dir))
+            if f.endswith((".yml", ".yaml"))
+        ]
+    if not paths:
+        print("error: no workflow files found", file=sys.stderr)
+        return 1
+
+    errors = []
+    for path in paths:
+        rel = os.path.relpath(path, REPO_ROOT)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = yaml.safe_load(fh)
+        except yaml.YAMLError as exc:
+            fail(errors, rel, "parse", str(exc).replace("\n", " "))
+            continue
+        check_workflow(errors, rel, doc)
+
+    if errors:
+        for e in errors:
+            print(f"workflow lint: {e}", file=sys.stderr)
+        print(f"workflow lint: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"workflow lint: {len(paths)} workflow(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

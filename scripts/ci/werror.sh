@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Warning hardening: src/ must compile clean under
+# -Wall -Wextra -Wshadow -Wconversion -Werror.
+. "$(dirname "$0")/common.sh"
+
+sbd_configure build-werror -DSBD_WERROR=ON
+sbd_build build-werror

@@ -137,6 +137,22 @@ std::optional<Snfa> EagerSolver::compileNfa(Re R, size_t MaxStates,
   sbd_unreachable("covered switch");
 }
 
+std::optional<Sdfa> EagerSolver::compileDfa(Re R, size_t MaxStates) {
+  Stopwatch Watch;
+  Timer = &Watch;
+  DeadlineMs = 0; // deterministic: bounded by states, never wall clock
+  StatesBuilt = 0;
+  bool TimedOut = false;
+  auto A = compileNfa(R, MaxStates, TimedOut);
+  Timer = nullptr;
+  if (!A)
+    return std::nullopt;
+  auto D = Sdfa::determinize(*A, MaxStates);
+  if (D)
+    StatesBuilt += D->numStates();
+  return D;
+}
+
 SolveResult EagerSolver::solve(Re R, const SolveOptions &Opts) {
   Stopwatch Watch;
   Timer = &Watch;

@@ -43,6 +43,13 @@ public:
   /// Decides nonemptiness of L(R) by building the automaton eagerly.
   SolveResult solve(Re R, const SolveOptions &Opts = {});
 
+  /// Result-extraction hook for the differential oracle (fuzz/Oracle.h):
+  /// compiles R all the way to a complete DFA through the same eager
+  /// product pipeline solve() uses, so membership can be cross-checked
+  /// against the derivative engines on concrete words. Returns nullopt when
+  /// the construction exceeds \p MaxStates (0 = unlimited).
+  std::optional<Sdfa> compileDfa(Re R, size_t MaxStates = 0);
+
   /// States constructed by the most recent solve() (blowup metric).
   size_t lastStatesBuilt() const { return StatesBuilt; }
 

@@ -148,6 +148,10 @@ static bool containsComplement(const RegexManager &M, Re R) {
   return false;
 }
 
+bool AntimirovSolver::supports(const RegexManager &Mgr, Re R) {
+  return !containsComplement(Mgr, R);
+}
+
 SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
   Stopwatch Timer;
   SolveResult Result;

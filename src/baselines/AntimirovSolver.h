@@ -54,6 +54,11 @@ public:
   /// Decides nonemptiness of L(R); Unsupported when R contains `~`.
   SolveResult solve(Re R, const SolveOptions &Opts = {});
 
+  /// True when R is inside the positive fragment this solver handles (no
+  /// `~` anywhere). The differential oracle consults this up front so an
+  /// Unsupported verdict is a skip, never a discrepancy.
+  static bool supports(const RegexManager &Mgr, Re R);
+
 private:
   RegexManager &M;
 };

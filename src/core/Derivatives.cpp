@@ -168,6 +168,16 @@ Re DerivativeEngine::brzozowskiUncached(Re R, uint32_t Ch) {
   sbd_unreachable("covered switch");
 }
 
+Re DerivativeEngine::derivativeOfWord(Re R, const std::vector<uint32_t> &Word) {
+  Re Cur = R;
+  for (uint32_t Ch : Word) {
+    if (Cur == M.empty())
+      return Cur; // D_w(⊥) = ⊥ for any suffix
+    Cur = brzozowski(Cur, Ch);
+  }
+  return Cur;
+}
+
 bool DerivativeEngine::matches(Re R, const std::vector<uint32_t> &Word) {
   Re Cur = R;
   for (uint32_t Ch : Word) {

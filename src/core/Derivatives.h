@@ -46,6 +46,12 @@ public:
   /// so that the two agree only if both are correct.
   Re brzozowski(Re R, uint32_t Ch);
 
+  /// D_w(R): the classical derivative with respect to a whole word, folding
+  /// D_Ch left to right. Deterministic re-entry point for the differential
+  /// oracle's `w ∈ der_a(R) ⇔ aw ∈ R` law (fuzz/Oracle.h): the returned
+  /// regex is an interned term that can be fed back into any engine.
+  Re derivativeOfWord(Re R, const std::vector<uint32_t> &Word);
+
   /// ϵ-membership after consuming \p Word: the classical derivative matcher.
   bool matches(Re R, const std::vector<uint32_t> &Word);
 

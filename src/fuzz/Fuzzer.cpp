@@ -1,0 +1,313 @@
+//===- fuzz/Fuzzer.cpp - Differential fuzzing driver -------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "re/RegexParser.h"
+#include "support/Metrics.h"
+#include "support/Stopwatch.h"
+#include "support/Unicode.h"
+
+#include <map>
+#include <utility>
+
+using namespace sbd;
+using namespace sbd::fuzz;
+
+//===----------------------------------------------------------------------===//
+// The corrupted engine
+//===----------------------------------------------------------------------===//
+
+/// Structure-preserving rewrite of every `&` node into `|` — the injected
+/// semantic bug. Generated terms are small (MaxNodes-bounded), so plain
+/// recursion without memoization is fine.
+static Re rewriteInterAsUnion(RegexManager &M, Re R) {
+  // Copy: interning rewritten children grows the arena, so a reference
+  // into it would dangle.
+  const RegexNode N = M.node(R);
+  switch (N.Kind) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+  case RegexKind::Pred:
+    return R;
+  case RegexKind::Concat:
+    return M.concat(rewriteInterAsUnion(M, N.Kids[0]),
+                    rewriteInterAsUnion(M, N.Kids[1]));
+  case RegexKind::Star:
+    return M.star(rewriteInterAsUnion(M, N.Kids[0]));
+  case RegexKind::Loop:
+    return M.loop(rewriteInterAsUnion(M, N.Kids[0]), N.LoopMin, N.LoopMax);
+  case RegexKind::Compl:
+    return M.complement(rewriteInterAsUnion(M, N.Kids[0]));
+  case RegexKind::Union:
+  case RegexKind::Inter: {
+    std::vector<Re> Kids;
+    Kids.reserve(N.Kids.size());
+    for (Re K : N.Kids)
+      Kids.push_back(rewriteInterAsUnion(M, K));
+    // Both cases rebuild as a union: for Inter that is the bug.
+    return M.unionList(std::move(Kids));
+  }
+  }
+  return R;
+}
+
+DifferentialOracle::MembershipStub sbd::fuzz::interAsUnionStub() {
+  DifferentialOracle::MembershipStub S;
+  S.Name = "inter_as_union_stub";
+  S.Matches = [](RegexManager &M, DerivativeEngine &E, Re R,
+                 const std::vector<uint32_t> &W) {
+    return E.matches(rewriteInterAsUnion(M, R), W);
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Report rendering
+//===----------------------------------------------------------------------===//
+
+/// JSON string escaping (the payload may contain quotes, backslashes and
+/// control characters; non-ASCII UTF-8 passes through verbatim).
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char Raw : S) {
+    auto U = static_cast<unsigned char>(Raw);
+    if (Raw == '"' || Raw == '\\') {
+      Out += '\\';
+      Out += Raw;
+    } else if (U < 0x20) {
+      static const char *Hex = "0123456789abcdef";
+      Out += "\\u00";
+      Out += Hex[U >> 4];
+      Out += Hex[U & 0xF];
+    } else {
+      Out += Raw;
+    }
+  }
+  return Out;
+}
+
+/// C++ string-literal escaping using octal escapes (unambiguous regardless
+/// of the following character, unlike \xNN).
+static std::string cxxEscape(const std::string &S) {
+  std::string Out;
+  for (char Raw : S) {
+    auto U = static_cast<unsigned char>(Raw);
+    if (Raw == '"' || Raw == '\\') {
+      Out += '\\';
+      Out += Raw;
+    } else if (U < 0x20 || U > 0x7E) {
+      char Buf[8];
+      Buf[0] = '\\';
+      Buf[1] = static_cast<char>('0' + ((U >> 6) & 7));
+      Buf[2] = static_cast<char>('0' + ((U >> 3) & 7));
+      Buf[3] = static_cast<char>('0' + (U & 7));
+      Buf[4] = '\0';
+      Out += Buf;
+    } else {
+      Out += Raw;
+    }
+  }
+  return Out;
+}
+
+std::string sbd::fuzz::renderRegressionTest(const Discrepancy &D,
+                                            uint64_t Seed, size_t CaseIndex) {
+  std::string Word;
+  for (uint32_t Cp : D.Word) {
+    if (!Word.empty())
+      Word += ", ";
+    Word += std::to_string(Cp);
+  }
+  std::string Out;
+  Out += "// sbd-fuzz regression: seed=" + std::to_string(Seed) +
+         " law=" + oracleLawName(D.Law) + " engine=" + D.Engine + "\n";
+  Out += "// detail: " + D.Detail + "\n";
+  Out += "TEST(SbdFuzzRegression, Seed" + std::to_string(Seed) + "Case" +
+         std::to_string(CaseIndex) + ") {\n";
+  Out += "  sbd::RegexManager M;\n";
+  Out += "  sbd::TrManager T(M);\n";
+  Out += "  sbd::DerivativeEngine E(M, T);\n";
+  Out += "  sbd::RegexSolver S(E);\n";
+  Out += "  sbd::fuzz::DifferentialOracle O(E, S);\n";
+  Out += "  sbd::Re R = sbd::parseRegexOrDie(M, \"" + cxxEscape(D.Pattern) +
+         "\");\n";
+  Out += "  std::vector<sbd::fuzz::Discrepancy> Ds;\n";
+  Out += "  O.checkSample(R, {{" + Word + "}}, Ds);\n";
+  Out += "  EXPECT_TRUE(Ds.empty());\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string FuzzReport::json() const {
+  std::string Out = "{";
+  Out += "\"seed\": " + std::to_string(Seed);
+  Out += ", \"iterations\": " + std::to_string(Iterations);
+  Out += ", \"samples\": " + std::to_string(Samples);
+  Out += ", \"checks\": " + std::to_string(Checks);
+  Out += ", \"elapsed_us\": " + std::to_string(ElapsedUs);
+  Out += std::string(", \"ok\": ") + (ok() ? "true" : "false");
+  Out += ", \"discrepancies\": [";
+  for (size_t I = 0; I != Discrepancies.size(); ++I) {
+    const Discrepancy &D = Discrepancies[I];
+    if (I)
+      Out += ", ";
+    Out += "{\"law\": \"" + std::string(oracleLawName(D.Law)) + "\"";
+    Out += ", \"engine\": \"" + jsonEscape(D.Engine) + "\"";
+    Out += ", \"pattern\": \"" + jsonEscape(D.Pattern) + "\"";
+    Out += ", \"regex_nodes\": " + std::to_string(D.RegexNodes);
+    Out += ", \"word\": [";
+    for (size_t J = 0; J != D.Word.size(); ++J) {
+      if (J)
+        Out += ", ";
+      Out += std::to_string(D.Word[J]);
+    }
+    Out += "]";
+    Out += ", \"word_utf8\": \"" + jsonEscape(toUtf8(D.Word)) + "\"";
+    Out += ", \"detail\": \"" + jsonEscape(D.Detail) + "\"}";
+  }
+  Out += "]";
+  Out += ", \"engine_timings\": [";
+  for (size_t I = 0; I != Timings.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "{\"name\": \"" + jsonEscape(Timings[I].Name) + "\"";
+    Out += ", \"total_us\": " + std::to_string(Timings[I].TotalUs);
+    Out += ", \"calls\": " + std::to_string(Timings[I].Calls) + "}";
+  }
+  Out += "]";
+  Out += ", \"obs\": " + (ObsJson.empty() ? std::string("{}") : ObsJson);
+  Out += "}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// The campaign driver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Can this law be re-checked on a candidate (regex, word) pair by
+/// re-running the per-regex oracle? De Morgan involves a *pair* of source
+/// terms, so its discrepancies are reported unshrunk.
+bool shrinkable(OracleLaw L) { return L != OracleLaw::DeMorgan; }
+
+} // namespace
+
+FuzzReport sbd::fuzz::runFuzz(const FuzzOptions &Opts) {
+  Stopwatch Total;
+  obs::MetricShard ObsBefore = obs::MetricsRegistry::global().snapshot();
+
+  FuzzReport Rep;
+  Rep.Seed = Opts.Seed;
+
+  // Master stream: one derived seed pair per batch, so batch K is
+  // reproducible without replaying batches 0..K-1's arena contents.
+  Rng SeedStream(Opts.Seed);
+  std::map<std::string, EngineTiming> Merged;
+
+  uint64_t Iter = 0;
+  bool Stop = false;
+  while (Iter < Opts.Iterations && !Stop) {
+    uint64_t RegexSeed = SeedStream.next();
+    uint64_t WordSeed = SeedStream.next();
+
+    // Fresh arenas per batch: bounded memory, and no cross-batch interning
+    // state that sample ordering could leak through.
+    RegexManager M;
+    TrManager T(M);
+    DerivativeEngine Eng(M, T);
+    RegexSolver Solver(Eng);
+    DifferentialOracle Oracle(Eng, Solver, Opts.Oracle);
+    if (Opts.CorruptStub)
+      Oracle.setStub(interAsUnionStub());
+    RegexGenerator RG(M, RegexSeed, Opts.Gen);
+    WordGenerator WG(M, WordSeed, Opts.Gen);
+
+    for (uint32_t B = 0;
+         B != (Opts.ArenaBatch ? Opts.ArenaBatch : 1) &&
+         Iter < Opts.Iterations && !Stop;
+         ++B, ++Iter) {
+      Re Rx = RG.generate();
+      std::vector<Discrepancy> Local;
+      Oracle.beginRegex(Rx, Local);
+      WG.prime(Rx);
+      std::vector<std::vector<uint32_t>> Words;
+      for (uint32_t WI = 0; WI != Opts.WordsPerRegex; ++WI) {
+        Words.push_back(WG.generate());
+        Oracle.checkWord(Words.back(), Local);
+      }
+      Rep.Samples += Words.size();
+
+      if (Opts.DeMorganEvery && Iter % Opts.DeMorganEvery == 0) {
+        Re A = RG.generateWithBudget(Opts.Gen.MaxNodes / 2);
+        Re B2 = RG.generateWithBudget(Opts.Gen.MaxNodes / 2);
+        Oracle.checkDeMorgan(A, B2, Words, Local);
+      }
+
+      for (Discrepancy &D : Local) {
+        if (Opts.Shrink && shrinkable(D.Law)) {
+          // Re-check candidates with a dedicated oracle: CheckSat only
+          // when the violated law needs the solvers, so membership-law
+          // shrinks stay cheap.
+          OracleOptions SOpts = Opts.Oracle;
+          SOpts.CheckSat = D.Law == OracleLaw::SatVerdict ||
+                           D.Law == OracleLaw::WitnessValid;
+          DifferentialOracle Check(Eng, Solver, SOpts);
+          if (Opts.CorruptStub)
+            Check.setStub(interAsUnionStub());
+          OracleLaw Law = D.Law;
+          std::string Engine = D.Engine;
+          FailurePredicate Fails = [&](Re C,
+                                       const std::vector<uint32_t> &W) {
+            std::vector<Discrepancy> Ds;
+            Check.beginRegex(C, Ds);
+            Check.checkWord(W, Ds);
+            for (const Discrepancy &D2 : Ds)
+              if (D2.Law == Law && (Engine.empty() || D2.Engine == Engine))
+                return true;
+            return false;
+          };
+          // The recorded word may be a witness for a per-regex law (empty
+          // for pure verdict conflicts); shrink from the sample as stored.
+          if (Fails(Rx, D.Word)) {
+            Shrinker Sh(M);
+            ShrinkResult SR = Sh.shrink(Rx, D.Word, Fails);
+            D.Pattern = M.toString(SR.Pattern);
+            D.Word = SR.Word;
+            D.RegexNodes = M.node(SR.Pattern).Size;
+          }
+        }
+        bool Dup = false;
+        for (const Discrepancy &Seen : Rep.Discrepancies)
+          if (Seen.Law == D.Law && Seen.Engine == D.Engine &&
+              Seen.Pattern == D.Pattern && Seen.Word == D.Word) {
+            Dup = true;
+            break;
+          }
+        if (!Dup)
+          Rep.Discrepancies.push_back(std::move(D));
+        if (Rep.Discrepancies.size() >= Opts.MaxDiscrepancies) {
+          Stop = true;
+          break;
+        }
+      }
+    }
+
+    for (const EngineTiming &ET : Oracle.timings()) {
+      EngineTiming &Slot = Merged[ET.Name];
+      Slot.Name = ET.Name;
+      Slot.TotalUs += ET.TotalUs;
+      Slot.Calls += ET.Calls;
+    }
+    Rep.Checks += Oracle.checksRun();
+  }
+
+  Rep.Iterations = Iter;
+  for (auto &KV : Merged)
+    Rep.Timings.push_back(KV.second);
+  Rep.ElapsedUs = Total.elapsedUs();
+  Rep.ObsJson =
+      obs::MetricsRegistry::global().snapshot().since(ObsBefore).json();
+  return Rep;
+}

@@ -1,0 +1,89 @@
+//===- fuzz/Fuzzer.h - Differential fuzzing driver --------------------------===//
+///
+/// \file
+/// The driver tying the fuzzing subsystem together (DESIGN.md §11):
+/// generate a random ERE (Generator.h), sample words biased toward its
+/// minterm witnesses, cross-check everything through the differential
+/// oracle (Oracle.h), shrink any disagreement to a local minimum
+/// (Shrinker.h), and emit a machine-readable JSON run report plus
+/// ready-to-paste GoogleTest regression snippets.
+///
+/// Determinism contract: a run is a pure function of FuzzOptions. Arenas
+/// are rebuilt every ArenaBatch regexes (bounding memory without a global
+/// cap that would make sample N depend on samples 0..N-1 of *other*
+/// batches), per-batch RNG streams are derived from the master seed, and
+/// every oracle budget is a state count. A CI failure therefore reproduces
+/// locally from the seed printed in its report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_FUZZ_FUZZER_H
+#define SBD_FUZZ_FUZZER_H
+
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Shrinker.h"
+
+#include <string>
+#include <vector>
+
+namespace sbd {
+namespace fuzz {
+
+/// One fuzz campaign's configuration. The defaults match the CI smoke job.
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  uint64_t Iterations = 1000; ///< regexes generated
+  uint32_t WordsPerRegex = 4;
+  /// Fresh arenas every N regexes (memory bound + cross-sample isolation).
+  uint32_t ArenaBatch = 64;
+  /// Run the De Morgan pair laws every Nth iteration (0 disables).
+  uint32_t DeMorganEvery = 8;
+  /// Greedily shrink each discrepancy before reporting it.
+  bool Shrink = true;
+  /// Stop the campaign after this many (post-dedup) discrepancies.
+  uint32_t MaxDiscrepancies = 16;
+  /// Inject the deliberately broken stub engine (self-check that the
+  /// oracle catches and shrinks a real semantic bug).
+  bool CorruptStub = false;
+  GeneratorOptions Gen;
+  OracleOptions Oracle;
+};
+
+/// Aggregated outcome of one campaign.
+struct FuzzReport {
+  uint64_t Seed = 0;
+  uint64_t Iterations = 0; ///< regexes actually processed
+  uint64_t Samples = 0;    ///< words pushed through the oracle
+  uint64_t Checks = 0;     ///< individual cross-checks run
+  int64_t ElapsedUs = 0;
+  std::vector<Discrepancy> Discrepancies; ///< post-shrink
+  std::vector<EngineTiming> Timings;      ///< merged across batches
+  /// sbd::obs counter deltas for the run (JSON object; "{}" when the
+  /// observability layer is compiled out or nothing was counted).
+  std::string ObsJson = "{}";
+
+  bool ok() const { return Discrepancies.empty(); }
+
+  /// The machine-readable run report (seed, iterations, per-engine timing,
+  /// discrepancy list).
+  std::string json() const;
+};
+
+/// The deliberately broken engine behind `sbd-fuzz --corrupt` and the
+/// negative tests: it rewrites every intersection into a union before
+/// matching, a principled semantic bug whose minimal counterexample is the
+/// two-predicate term `a&b` (∅, but the stub accepts "a").
+DifferentialOracle::MembershipStub interAsUnionStub();
+
+/// A ready-to-paste GoogleTest regression snippet reproducing \p D.
+std::string renderRegressionTest(const Discrepancy &D, uint64_t Seed,
+                                 size_t CaseIndex);
+
+/// Runs one campaign.
+FuzzReport runFuzz(const FuzzOptions &Opts);
+
+} // namespace fuzz
+} // namespace sbd
+
+#endif // SBD_FUZZ_FUZZER_H

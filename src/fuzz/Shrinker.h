@@ -1,0 +1,67 @@
+//===- fuzz/Shrinker.h - Greedy structural counterexample shrinking --------===//
+///
+/// \file
+/// Greedy structural shrinker for oracle discrepancies (DESIGN.md §11). A
+/// failing (regex, word) sample from the fuzzer is usually dozens of nodes
+/// of noise around a two- or three-node core; the shrinker reduces it to a
+/// local minimum under one-step reductions while a caller-supplied
+/// predicate keeps reporting "still failing".
+///
+/// Termination is by construction: every accepted regex reduction strictly
+/// decreases the syntax-node count, and every accepted word reduction
+/// strictly decreases (length, pointwise code points) lexicographically.
+/// Neither order has infinite descending chains, so the greedy loop always
+/// reaches a fixpoint; MaxSteps is only a belt-and-braces cap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_FUZZ_SHRINKER_H
+#define SBD_FUZZ_SHRINKER_H
+
+#include "re/Regex.h"
+
+#include <functional>
+#include <vector>
+
+namespace sbd {
+namespace fuzz {
+
+/// Returns true iff the (regex, word) pair still exhibits the failure being
+/// minimized. Must be deterministic.
+using FailurePredicate =
+    std::function<bool(Re, const std::vector<uint32_t> &)>;
+
+/// Outcome of a shrink run.
+struct ShrinkResult {
+  Re Pattern{0};
+  std::vector<uint32_t> Word;
+  uint32_t Steps = 0;     ///< accepted reductions
+  uint32_t Attempts = 0;  ///< predicate evaluations
+};
+
+/// Greedy one-step-reduction shrinker over the interned regex arena.
+class Shrinker {
+public:
+  explicit Shrinker(RegexManager &Mgr) : M(Mgr) {}
+
+  /// Minimizes (R, Word) under \p StillFails, which must hold for the
+  /// input pair. Alternates regex and word passes until neither finds an
+  /// accepted reduction.
+  ShrinkResult shrink(Re R, const std::vector<uint32_t> &Word,
+                      const FailurePredicate &StillFails,
+                      uint32_t MaxSteps = 10000);
+
+  /// All one-step regex reductions of \p R, each strictly smaller in
+  /// syntax-node count (exposed for the determinism tests).
+  std::vector<Re> reductions(Re R);
+
+private:
+  void reduceInto(Re R, std::vector<Re> &Out);
+
+  RegexManager &M;
+};
+
+} // namespace fuzz
+} // namespace sbd
+
+#endif // SBD_FUZZ_SHRINKER_H

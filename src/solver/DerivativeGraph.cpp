@@ -7,6 +7,14 @@
 
 using namespace sbd;
 
+void DerivativeGraph::clear() {
+  Verts.clear();
+  Index.clear();
+  Scc = SccIndex();
+  NumEdges = 0;
+  DeadDirty = false;
+}
+
 uint32_t DerivativeGraph::addVertex(Re R) {
   if (const uint32_t *Hit = Index.find(R.Id))
     return *Hit;

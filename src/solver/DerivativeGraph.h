@@ -99,6 +99,12 @@ public:
   size_t numEdges() const { return NumEdges; }
   DeadDetection mode() const { return Mode; }
 
+  /// Drops every vertex, edge, row, and SCC record, returning the graph to
+  /// its freshly constructed state (same manager, same mode). Deterministic
+  /// re-entry point for the differential oracle: solving the same regex
+  /// after clear() explores exactly the states a fresh solver would.
+  void clear();
+
 private:
   struct Vertex {
     Re R;

@@ -84,6 +84,13 @@ public:
   /// The persistent graph (shared across queries; exposes Dead/Alive).
   DerivativeGraph &graph() { return Graph; }
 
+  /// Clears the persistent graph, making the next query behave exactly as
+  /// if it ran on a freshly constructed solver. The differential oracle
+  /// calls this between samples so per-query exploration (and the counters
+  /// derived from it) is deterministic regardless of sample order; verdicts
+  /// never depend on it.
+  void resetGraph() { Graph.clear(); }
+
   /// The derivative engine this solver runs on.
   DerivativeEngine &engine() { return Engine; }
 

@@ -56,6 +56,14 @@ const char *sbd::obs::counterName(Counter C) {
     return "audit_nodes_checked";
   case Counter::AuditViolations:
     return "audit_violations";
+  case Counter::FuzzSamples:
+    return "fuzz_samples";
+  case Counter::FuzzChecks:
+    return "fuzz_checks";
+  case Counter::FuzzDiscrepancies:
+    return "fuzz_discrepancies";
+  case Counter::FuzzShrinkSteps:
+    return "fuzz_shrink_steps";
   case Counter::ParseTimeUs:
     return "parse_time_us";
   case Counter::DeriveTimeUs:

@@ -91,6 +91,11 @@ enum class Counter : uint32_t {
   // Invariant auditor (analysis/Audit.h; counts only under SBD_AUDIT builds).
   AuditNodesChecked,   ///< nodes/interval-lists visited by audit hooks
   AuditViolations,     ///< invariant violations the hooks detected
+  // Differential fuzzing subsystem (fuzz/Fuzzer.h).
+  FuzzSamples,         ///< (regex, word) samples pushed through the oracle
+  FuzzChecks,          ///< individual cross-engine/metamorphic checks run
+  FuzzDiscrepancies,   ///< disagreements the oracle detected
+  FuzzShrinkSteps,     ///< accepted shrinker reductions
   // Phase timings, microseconds (counters so they shard/merge like the rest).
   ParseTimeUs,
   DeriveTimeUs,
