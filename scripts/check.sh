@@ -7,17 +7,18 @@
 #   - ci/lint.sh              lint_sbd.py + clang-tidy vs baseline
 #   - ci/validate_workflow.py GitHub Actions workflow structure lint
 #   - ci/bench_debug.sh       every bench harness at --quick + stats smoke
-#   - ci/perf_smoke.sh        release --quick benches vs BENCH_PR4.json
+#   - ci/perf_smoke.sh        release --quick benches vs BENCH_PR6.json
 #   - ci/fuzz_smoke.sh        differential fuzz campaign + oracle self-check
 #   - ci/werror.sh            -Wall -Wextra -Wshadow -Wconversion -Werror
 #   - ci/audit.sh             full suite with term-DAG invariant audits live
 #   - ci/obs_off.sh           observability layer compiles out cleanly
+#   - ci/compile_scalar.sh    compiled matcher with SIMD kernels pinned off
 #   - ci/tsan.sh              parallel batch solver + obs registry tests
 #   - ci/asan.sh              ASan+UBSan full suite (mandatory, not opt-in)
 #
 #   scripts/check.sh          # everything above
 #   scripts/check.sh --quick  # release bench run only; refreshes the
-#                             # checked-in BENCH_PR4.json perf baseline
+#                             # checked-in BENCH_PR6.json perf baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 CI_DIR=scripts/ci
@@ -28,7 +29,7 @@ CI_DIR=scripts/ci
 if [ "${1:-}" = "--quick" ]; then
   "$CI_DIR"/bench_quick.sh
   python3 scripts/perf_smoke.py snapshot /tmp/sbd-bench-micro.json \
-    /tmp/sbd-bench-corpus.json BENCH_PR4.json
+    /tmp/sbd-bench-corpus.json BENCH_PR6.json
   exit 0
 fi
 
@@ -41,6 +42,7 @@ python3 "$CI_DIR"/validate_workflow.py
 "$CI_DIR"/werror.sh
 "$CI_DIR"/audit.sh
 "$CI_DIR"/obs_off.sh
+"$CI_DIR"/compile_scalar.sh
 "$CI_DIR"/tsan.sh
 "$CI_DIR"/asan.sh
 

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# The compiled matcher's SIMD kernels must be optional: with
+# -DSBD_COMPILE_SIMD=OFF every scan goes through the portable scalar table
+# walk, and the compiled-DFA, promotion, and differential-fuzz suites must
+# still pass bit-for-bit. This is the scalar half of the kernel matrix
+# (the default build exercises the SSE2/SSSE3/AVX2 or NEON paths on hosts
+# that have them).
+. "$(dirname "$0")/common.sh"
+
+require ctest "ships with CMake"
+sbd_configure build-scalar -DSBD_COMPILE_SIMD=OFF
+sbd_build build-scalar compiled_dfa_test cached_matcher_test \
+  fuzz_oracle_test solver_test
+ctest --test-dir build-scalar -R 'Compiled|CachedMatcher|FuzzOracle|Solver' \
+  --output-on-failure

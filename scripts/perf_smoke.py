@@ -5,7 +5,12 @@ Two modes:
 
   perf_smoke.py snapshot <micro.json> <corpus.json> <out.json>
       Condense one --quick run of bench_micro (--json) and bench_smt_corpus
-      (--json) into the checked-in baseline snapshot (BENCH_PR4.json).
+      (--json) into the checked-in baseline snapshot (BENCH_PR6.json).
+      Counters exported by the micro benchmarks (dfa_states_built,
+      alphabet_minterms, compiled table shape) are recorded alongside the
+      corpus counters so the snapshot reflects the measured run, and the
+      snapshot is refused when the compiled-vs-cached promotion payoff is
+      below the gate — a bad baseline would make the gate vacuous.
 
   perf_smoke.py compare <baseline.json> <micro.json> <corpus.json>
       Compare a fresh --quick run against the snapshot. A benchmark that got
@@ -16,8 +21,14 @@ Two modes:
       Exits 0 with a message when the baseline is absent, so fresh clones
       and non-perf branches are not blocked.
 
-The guard also asserts dense_row_hits > 0 on the corpus run: the solver's
-dense-row replay path must actually fire, not just compile.
+Beyond the ratio checks, the guard asserts on every compare that
+  - dense_row_hits > 0: the solver's dense-row replay path actually fired;
+  - dfa_states_built > 0 and alphabet_minterms > 0: the lazy-DFA series
+    really built states over a compressed alphabet (both were silently 0 in
+    BENCH_PR4.json because only the corpus bench reported counters);
+  - the compiled serving path beats the lazy cached walk by >= GATE_RATIO
+    on the 1KiB throughput series (the promotion payoff the compiled
+    subsystem exists for).
 """
 
 import json
@@ -29,9 +40,22 @@ TOLERANCE = 2.5
 # at --quick scale; they are recorded but not compared.
 MIN_COMPARE_NS = 200.0
 
+# The promotion payoff gate: the frozen state-major table must beat the
+# lazy cached walk by this factor on the same pattern and input.
+GATE_RATIO = 3.0
+CACHED_SERIES = "BM_CachedMatcherThroughput/1024"
+COMPILED_SERIES = "BM_CompiledMatcherThroughput/1024"
+
+# User counters lifted from the micro report into the snapshot, keyed by
+# the benchmark that exports them.
+MICRO_COUNTERS = {
+    CACHED_SERIES: ("dfa_states_built", "alphabet_minterms"),
+    COMPILED_SERIES: ("states", "table_bytes", "compiled_chars_scanned"),
+}
+
 
 def load_micro(path):
-    """name -> real_time in ns from a google-benchmark JSON report."""
+    """name -> (real_time ns, user counters) from a benchmark JSON report."""
     with open(path) as f:
         doc = json.load(f)
     out = {}
@@ -40,8 +64,36 @@ def load_micro(path):
             continue
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
-        out[b["name"]] = float(b["real_time"]) * scale
+        counters = {
+            k: float(v) for k, v in b.items()
+            if isinstance(v, (int, float)) and k not in (
+                "real_time", "cpu_time", "iterations", "repetition_index",
+                "threads", "family_index", "per_family_instance_index")
+        }
+        out[b["name"]] = (float(b["real_time"]) * scale, counters)
     return out
+
+
+def micro_counter_view(micro):
+    """Flatten the interesting per-benchmark counters into one dict."""
+    view = {}
+    for series, keys in MICRO_COUNTERS.items():
+        _, counters = micro.get(series, (None, {}))
+        for k in keys:
+            if k in counters:
+                name = k if k.startswith(("dfa", "alphabet", "compiled")) \
+                    else "compiled_" + k
+                view[name] = counters[k]
+    return view
+
+
+def payoff_ratio(micro):
+    """cached/compiled time ratio on the 1KiB series, or None if absent."""
+    cached = micro.get(CACHED_SERIES)
+    compiled = micro.get(COMPILED_SERIES)
+    if cached is None or compiled is None or compiled[0] <= 0:
+        return None
+    return cached[0] / compiled[0]
 
 
 def load_corpus(path):
@@ -53,10 +105,19 @@ def load_corpus(path):
 
 
 def snapshot(micro_path, corpus_path, out_path):
+    micro = load_micro(micro_path)
+    ratio = payoff_ratio(micro)
+    if ratio is None or ratio < GATE_RATIO:
+        shown = "absent" if ratio is None else f"{ratio:.2f}x"
+        print(f"perf-smoke: refusing snapshot: compiled payoff {shown} "
+              f"< {GATE_RATIO}x on {COMPILED_SERIES}")
+        return 1
     groups, counters = load_corpus(corpus_path)
     doc = {
         "tolerance": TOLERANCE,
-        "micro_ns": load_micro(micro_path),
+        "micro_ns": {name: ns for name, (ns, _) in micro.items()},
+        "micro_counters": micro_counter_view(micro),
+        "compiled_payoff_1024": round(ratio, 2),
         "corpus_direct_ms": groups,
         "corpus_counters": {
             k: counters[k]
@@ -68,7 +129,9 @@ def snapshot(micro_path, corpus_path, out_path):
     with open(out_path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
-    print(f"perf-smoke: wrote snapshot {out_path}")
+    print(f"perf-smoke: wrote snapshot {out_path} "
+          f"(compiled payoff {ratio:.2f}x)")
+    return 0
 
 
 def compare(baseline_path, micro_path, corpus_path):
@@ -86,9 +149,10 @@ def compare(baseline_path, micro_path, corpus_path):
 
     cur_micro = load_micro(micro_path)
     for name, base_ns in sorted(base.get("micro_ns", {}).items()):
-        cur_ns = cur_micro.get(name)
-        if cur_ns is None or base_ns < MIN_COMPARE_NS:
+        entry = cur_micro.get(name)
+        if entry is None or base_ns < MIN_COMPARE_NS:
             continue
+        cur_ns = entry[0]
         compared += 1
         if cur_ns > tol * base_ns:
             failures.append(
@@ -112,6 +176,23 @@ def compare(baseline_path, micro_path, corpus_path):
             "  corpus dense_row_hits == 0: the dense-row replay path never "
             "fired")
 
+    micro_counters = micro_counter_view(cur_micro)
+    for key in ("dfa_states_built", "alphabet_minterms"):
+        if micro_counters.get(key, 0) <= 0:
+            failures.append(
+                f"  micro {key} == 0: the throughput series did not exercise "
+                "the measured path")
+
+    ratio = payoff_ratio(cur_micro)
+    if ratio is None:
+        failures.append(
+            f"  {COMPILED_SERIES} missing: the compiled serving path was not "
+            "measured")
+    elif ratio < GATE_RATIO:
+        failures.append(
+            f"  compiled payoff {ratio:.2f}x < {GATE_RATIO}x: "
+            f"{COMPILED_SERIES} must beat {CACHED_SERIES}")
+
     if failures:
         print("perf-smoke: REGRESSION vs " + baseline_path)
         print("\n".join(failures))
@@ -119,14 +200,13 @@ def compare(baseline_path, micro_path, corpus_path):
               "'scripts/check.sh --quick'.")
         return 1
     print(f"perf-smoke: ok ({compared} series within {tol}x, "
-          f"dense_row_hits={hits})")
+          f"dense_row_hits={hits}, compiled payoff {ratio:.2f}x)")
     return 0
 
 
 def main(argv):
     if len(argv) == 5 and argv[1] == "snapshot":
-        snapshot(argv[2], argv[3], argv[4])
-        return 0
+        return snapshot(argv[2], argv[3], argv[4])
     if len(argv) == 5 and argv[1] == "compare":
         return compare(argv[2], argv[3], argv[4])
     print(__doc__)

@@ -1,0 +1,716 @@
+//===- compile/CompiledDfa.cpp - Frozen state-major DFA tables --------------===//
+// sbd-lint: hot-path
+
+#include "compile/CompiledDfa.h"
+
+#include "analysis/AuditHooks.h"
+#include "support/InternTable.h"
+#include "support/Metrics.h"
+#include "support/Unicode.h"
+
+#include <algorithm>
+#include <map>
+
+#ifndef SBD_COMPILE_SIMD
+#define SBD_COMPILE_SIMD 1
+#endif
+
+#if SBD_COMPILE_SIMD && defined(__x86_64__)
+#include <immintrin.h>
+#endif
+#if SBD_COMPILE_SIMD && defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+using namespace sbd;
+
+namespace {
+
+/// Block granularity of the scanning kernels: dead short-circuit and
+/// prefilter re-engagement happen once per block, not per character.
+constexpr size_t BlockChars = 64;
+
+#if SBD_COMPILE_SIMD && defined(__x86_64__)
+bool haveSsse3() {
+  static const bool H = (__builtin_cpu_init(), __builtin_cpu_supports("ssse3"));
+  return H;
+}
+bool haveAvx2() {
+  static const bool H = (__builtin_cpu_init(), __builtin_cpu_supports("avx2"));
+  return H;
+}
+#endif
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compilation: derivative closure over minterm classes, then packing
+//===----------------------------------------------------------------------===//
+
+std::optional<CompiledDfa> CompiledDfa::compile(DerivativeEngine &Eng,
+                                                Re Pattern,
+                                                CompiledDfaOptions Opts) {
+  RegexManager &M = Eng.regexManager();
+  TrManager &T = Eng.trManager();
+  CompiledDfa D(AlphabetCompressor(M.collectPredicates(Pattern)));
+  const uint32_t NC = D.Compressor.numClasses();
+  D.NumClasses = NC;
+  uint32_t L = 1; // stride >= max(NC, 2): bit 0 of every row offset is free
+  while ((1u << L) < NC)
+    ++L;
+  D.StrideLog2 = L;
+  D.Prefilter = Opts.EnablePrefilter;
+  const size_t MaxStates = std::max<size_t>(Opts.MaxStates, 2);
+
+  // Worklist closure in discovery order. Unlike the lazy cache this runs to
+  // a fixpoint: every reachable derivative gets an id and a full row, so
+  // the frozen table never needs the engine again. One probe of the class
+  // representative decides the whole class (derivative-closure property:
+  // reachable guards are Boolean combinations of ΨR, for which the
+  // compressor's minterms are uniform by construction).
+  FlatMap64 Index;
+  D.StateRe.push_back(M.empty()); // id 0: the dead sink
+  Index.insert(M.empty().Id, 0);
+  auto Intern = [&](Re R) {
+    if (const uint32_t *Hit = Index.find(R.Id))
+      return *Hit;
+    uint32_t Id = static_cast<uint32_t>(D.StateRe.size());
+    D.StateRe.push_back(R);
+    Index.insert(R.Id, Id);
+    return Id;
+  };
+  uint32_t StartId = Intern(Pattern);
+  std::vector<uint32_t> Targets(NC, 0); // raw ids: Targets[S * NC + Cls]
+  for (uint32_t S = 1; S < D.StateRe.size(); ++S) {
+    Re R = D.StateRe[S];
+    std::vector<TrArc> Arcs = T.arcs(Eng.derivativeDnf(R));
+    Targets.resize(static_cast<size_t>(S + 1) * NC, 0);
+    for (uint32_t Cls = 0; Cls != NC; ++Cls) {
+      uint32_t Rep = D.Compressor.representative(static_cast<uint16_t>(Cls));
+      std::vector<Re> Parts;
+      for (const TrArc &A : Arcs)
+        if (A.Guard.contains(Rep))
+          Parts.push_back(A.Target);
+      Re Tgt = Parts.empty() ? M.empty() : M.unionList(std::move(Parts));
+      Targets[static_cast<size_t>(S) * NC + Cls] =
+          Tgt == M.empty() ? 0 : Intern(Tgt);
+      if (D.StateRe.size() > MaxStates)
+        return std::nullopt; // closure overflow: stay on the lazy path
+    }
+  }
+
+  uint32_t NS = static_cast<uint32_t>(D.StateRe.size());
+  D.AcceptById.resize(NS);
+  for (uint32_t S = 0; S != NS; ++S)
+    D.AcceptById[S] = M.nullable(D.StateRe[S]);
+
+  // Moore partition refinement: merge Nerode-equivalent states before
+  // packing. Derivative interning is syntactic (weak normal form), so the
+  // closure routinely carries several states per residual language; the
+  // minimal table is smaller, hotter in cache, and far more often inside
+  // the Sheng kernels' 16/32-state budgets. Refinement starts from the
+  // accept split and re-signs every state by (own class, target classes)
+  // until stable. State 0 keeps id 0: it is signed first each round, and
+  // any language-empty state folds into its class.
+  if (NS > 2) {
+    std::vector<uint32_t> Part(NS);
+    for (uint32_t S = 0; S != NS; ++S)
+      Part[S] = D.AcceptById[S];
+    uint32_t NumParts = 0;
+    for (;;) {
+      std::map<std::vector<uint32_t>, uint32_t> Sig;
+      std::vector<uint32_t> Next(NS);
+      for (uint32_t S = 0; S != NS; ++S) {
+        std::vector<uint32_t> Key;
+        Key.reserve(NC + 1);
+        Key.push_back(Part[S]);
+        for (uint32_t Cls = 0; Cls != NC; ++Cls)
+          Key.push_back(Part[Targets[static_cast<size_t>(S) * NC + Cls]]);
+        Next[S] =
+            Sig.emplace(std::move(Key), static_cast<uint32_t>(Sig.size()))
+                .first->second;
+      }
+      uint32_t NewCount = static_cast<uint32_t>(Sig.size());
+      Part = std::move(Next);
+      if (NewCount == NumParts)
+        break; // no class split this round: the partition is the fixpoint
+      NumParts = NewCount;
+    }
+    if (NumParts < NS) {
+      std::vector<Re> NewRe(NumParts, M.empty());
+      std::vector<uint8_t> NewAcc(NumParts, 0);
+      std::vector<uint32_t> NewTargets(static_cast<size_t>(NumParts) * NC, 0);
+      std::vector<uint8_t> Seen(NumParts, 0);
+      for (uint32_t S = 0; S != NS; ++S) {
+        uint32_t P = Part[S];
+        if (Seen[P])
+          continue; // representative: lowest original id in the class
+        Seen[P] = 1;
+        NewRe[P] = D.StateRe[S];
+        NewAcc[P] = D.AcceptById[S];
+        for (uint32_t Cls = 0; Cls != NC; ++Cls)
+          NewTargets[static_cast<size_t>(P) * NC + Cls] =
+              Part[Targets[static_cast<size_t>(S) * NC + Cls]];
+      }
+      StartId = Part[StartId];
+      D.StateRe = std::move(NewRe);
+      D.AcceptById = std::move(NewAcc);
+      Targets = std::move(NewTargets);
+      NS = NumParts;
+    }
+  }
+
+  // Pack: entry = (target << StrideLog2) | accept(target). 16-bit entries
+  // unless the largest offset overflows them.
+  const uint64_t MaxEntry = (static_cast<uint64_t>(NS - 1) << L) | 1u;
+  D.Use16 = MaxEntry <= 0xFFFFu;
+  const size_t Stride = static_cast<size_t>(1) << L;
+  const size_t Len = static_cast<size_t>(NS) * Stride;
+  if (Len * (D.Use16 ? sizeof(uint16_t) : sizeof(uint32_t)) >
+      Opts.MaxTableBytes)
+    return std::nullopt; // table overflow: stay on the lazy path
+  if (D.Use16)
+    D.Tab16.assign(Len, 0);
+  else
+    D.Tab32.assign(Len, 0);
+  for (uint32_t S = 0; S != NS; ++S)
+    for (uint32_t Cls = 0; Cls != NC; ++Cls) {
+      uint32_t Tgt = Targets[static_cast<size_t>(S) * NC + Cls];
+      uint32_t Entry = (Tgt << L) | D.AcceptById[Tgt];
+      size_t Idx = (static_cast<size_t>(S) << L) + Cls;
+      if (D.Use16)
+        D.Tab16[Idx] = static_cast<uint16_t>(Entry);
+      else
+        D.Tab32[Idx] = Entry;
+    }
+  D.Start = (StartId << L) | D.AcceptById[StartId];
+  D.Sheng = D.Use16 && NS <= 16 && Opts.EnableSimd;
+  D.ShengWide = D.Use16 && NS > 16 && NS <= 32 && Opts.EnableSimd;
+  D.buildSideTables(Targets);
+
+#if SBD_AUDIT
+  // Compile-time hook (mirrors the lazy cache's per-expansion row audit):
+  // cross-check every packed entry against a fresh δdnf row before the
+  // table is allowed to serve.
+  {
+    size_t Bad = D.auditTable(Eng);
+    audit::Report Out;
+    Out.noteChecked(static_cast<uint64_t>(NS) * NC);
+    for (size_t I = 0; I != Bad; ++I)
+      Out.add(audit::ViolationKind::CompiledTableMismatch, Pattern.Id,
+              "packed table entry disagrees with fresh δdnf row");
+    audit::publish(Out, "compiled table");
+  }
+#endif
+  return D;
+}
+
+void CompiledDfa::buildSideTables(const std::vector<uint32_t> &Targets) {
+  const uint32_t NS = numStates();
+  Skips.assign(NS, SkipInfo{});
+  if (Prefilter) {
+    // A state that self-loops on all but <= 2 ASCII bytes can skim: those
+    // escape bytes are the only ASCII characters that change the state, so
+    // a memchr-style race to the first occurrence is sound (skipped bytes
+    // provably leave both the state and its accept bit untouched).
+    for (uint32_t S = 0; S != NS; ++S) {
+      SkipInfo K;
+      K.NumEscapes = 0;
+      bool Skimmable = true;
+      for (uint32_t B = 0; B != 128; ++B) {
+        uint32_t Tgt = Targets[static_cast<size_t>(S) * NumClasses +
+                               Compressor.classOf(B)];
+        if (Tgt == S)
+          continue;
+        if (K.NumEscapes == 2) {
+          Skimmable = false;
+          break;
+        }
+        K.Escape[K.NumEscapes++] = static_cast<uint8_t>(B);
+      }
+      if (!Skimmable)
+        continue;
+      if (K.NumEscapes == 0) // absorbs all ASCII: only non-ASCII stops it
+        K.Escape[0] = K.Escape[1] = 0x80;
+      else if (K.NumEscapes == 1)
+        K.Escape[1] = K.Escape[0];
+      Skips[S] = K;
+    }
+  }
+  if (Sheng || ShengWide) {
+    // One transition vector per ASCII byte: lane s holds the target id of
+    // state s, so PSHUFB/TBL with the current id in lane 0 is one step.
+    // Wide tables split each vector into a low half (states 0–15) and a
+    // high half (16–31) shuffled separately and blended on id > 15.
+    const size_t Row = Sheng ? 16 : 32;
+    ShengTbl.assign(128 * Row, 0);
+    for (uint32_t B = 0; B != 128; ++B) {
+      uint16_t Cls = Compressor.classOf(B);
+      for (uint32_t S = 0; S != NS; ++S)
+        ShengTbl[static_cast<size_t>(B) * Row + S] = static_cast<uint8_t>(
+            Targets[static_cast<size_t>(S) * NumClasses + Cls]);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scanning kernels
+//===----------------------------------------------------------------------===//
+
+size_t CompiledDfa::skim(const std::string &In, size_t I,
+                         const SkipInfo &K) const {
+  const uint8_t E0 = K.Escape[0], E1 = K.Escape[1];
+  const size_t N = In.size();
+#if SBD_COMPILE_SIMD && defined(__SSE2__)
+  const __m128i V0 = _mm_set1_epi8(static_cast<char>(E0));
+  const __m128i V1 = _mm_set1_epi8(static_cast<char>(E1));
+  while (I + 16 <= N) {
+    __m128i Chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(In.data() + I));
+    // Stop lanes: either escape byte, or any non-ASCII byte (high bit via
+    // movemask on the chunk itself).
+    unsigned Stop = static_cast<unsigned>(_mm_movemask_epi8(_mm_or_si128(
+                        _mm_cmpeq_epi8(Chunk, V0),
+                        _mm_cmpeq_epi8(Chunk, V1)))) |
+                    static_cast<unsigned>(_mm_movemask_epi8(Chunk));
+    if (Stop)
+      return I + static_cast<size_t>(__builtin_ctz(Stop));
+    I += 16;
+  }
+#elif SBD_COMPILE_SIMD && defined(__aarch64__)
+  const uint8x16_t V0 = vdupq_n_u8(E0), V1 = vdupq_n_u8(E1);
+  const uint8x16_t Ascii = vdupq_n_u8(0x7F);
+  while (I + 16 <= N) {
+    uint8x16_t Chunk =
+        vld1q_u8(reinterpret_cast<const uint8_t *>(In.data() + I));
+    uint8x16_t Stop = vorrq_u8(
+        vorrq_u8(vceqq_u8(Chunk, V0), vceqq_u8(Chunk, V1)),
+        vcgtq_u8(Chunk, Ascii));
+    if (vmaxvq_u8(Stop))
+      break; // scalar loop below pinpoints the byte within this chunk
+    I += 16;
+  }
+#endif
+  while (I < N) {
+    uint8_t B = static_cast<uint8_t>(In[I]);
+    if (B >= 0x80 || B == E0 || B == E1)
+      break;
+    ++I;
+  }
+  return I;
+}
+
+template <typename EntryT>
+bool CompiledDfa::scanUtf8(const std::string &In) const {
+  const EntryT *Tab;
+  if constexpr (sizeof(EntryT) == sizeof(uint16_t))
+    Tab = Tab16.data();
+  else
+    Tab = Tab32.data();
+  const size_t N = In.size();
+  uint32_t S = Start;
+  size_t I = 0;
+  uint64_t Skipped = 0;
+  while (I < N) {
+    if ((S >> StrideLog2) == 0)
+      break; // dead sink: no suffix can revive the match
+    if (Prefilter) {
+      const SkipInfo &K = Skips[S >> StrideLog2];
+      if (K.enabled()) {
+        size_t J = skim(In, I, K);
+        Skipped += J - I;
+        I = J;
+      }
+    }
+    const size_t End = std::min(N, I + BlockChars);
+    while (I < End) {
+      uint32_t Cp = static_cast<uint8_t>(In[I]);
+      if (Cp < 0x80)
+        ++I; // ASCII fast path: byte == code point
+      else
+        Cp = decodeUtf8At(In, I);
+      // The entry *is* the next row's base offset (premultiplied), with
+      // the target's accept flag riding in the free bit 0.
+      S = Tab[(S & ~1u) + Compressor.classOf(Cp)];
+    }
+  }
+  SBD_OBS_ADD(CompiledCharsScanned, I - Skipped);
+  SBD_OBS_ADD(CompiledPrefilterSkips, Skipped);
+  return (S & 1u) != 0;
+}
+
+template <typename EntryT>
+bool CompiledDfa::scanWord(const std::vector<uint32_t> &Word) const {
+  const EntryT *Tab;
+  if constexpr (sizeof(EntryT) == sizeof(uint16_t))
+    Tab = Tab16.data();
+  else
+    Tab = Tab32.data();
+  uint32_t S = Start;
+  size_t Fed = 0;
+  for (uint32_t Cp : Word) {
+    if ((S >> StrideLog2) == 0)
+      break;
+    S = Tab[(S & ~1u) + Compressor.classOf(Cp)];
+    ++Fed;
+  }
+  SBD_OBS_ADD(CompiledCharsScanned, Fed);
+  return (S & 1u) != 0;
+}
+
+#if SBD_COMPILE_SIMD && defined(__x86_64__)
+/// Sheng kernel: for tables with <= 16 states the whole transition function
+/// fits one shuffle vector per byte, so the state lives in an XMM lane and
+/// each ASCII character costs a single PSHUFB (plus the byte load). Blocks
+/// are pre-screened with an SSE2 movemask; any non-ASCII byte drops the
+/// block to the scalar decode path.
+__attribute__((target("ssse3"))) bool
+CompiledDfa::scanSheng(const std::string &In) const {
+  const uint8_t *Vecs = ShengTbl.data();
+  const uint16_t *Tab = Tab16.data();
+  const size_t N = In.size();
+  uint32_t Id = Start >> StrideLog2;
+  size_t I = 0;
+  uint64_t Skipped = 0;
+  while (I < N) {
+    if (Id == 0)
+      break;
+    if (Prefilter) {
+      const SkipInfo &K = Skips[Id];
+      if (K.enabled()) {
+        size_t J = skim(In, I, K);
+        Skipped += J - I;
+        I = J;
+      }
+    }
+    const size_t End = std::min(N, I + BlockChars);
+    __m128i Cur = _mm_cvtsi32_si128(static_cast<int>(Id));
+    while (I + 16 <= End) {
+      __m128i Chunk =
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(In.data() + I));
+      if (_mm_movemask_epi8(Chunk))
+        break; // non-ASCII byte in this chunk: finish it on the scalar path
+      const uint8_t *P = reinterpret_cast<const uint8_t *>(In.data()) + I;
+      for (size_t J = 0; J != 16; ++J)
+        Cur = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                Vecs + static_cast<size_t>(P[J]) * 16)),
+            Cur);
+      I += 16;
+    }
+    Id = static_cast<uint32_t>(_mm_cvtsi128_si32(Cur)) & 0xFFu;
+    while (I < End && Id != 0) { // block tail / non-ASCII: scalar steps
+      uint32_t Cp = static_cast<uint8_t>(In[I]);
+      if (Cp < 0x80)
+        ++I;
+      else
+        Cp = decodeUtf8At(In, I);
+      Id = static_cast<uint32_t>(
+               Tab[(static_cast<size_t>(Id) << StrideLog2) +
+                   Compressor.classOf(Cp)]) >>
+           StrideLog2;
+    }
+  }
+  SBD_OBS_ADD(CompiledCharsScanned, I - Skipped);
+  SBD_OBS_ADD(CompiledPrefilterSkips, Skipped);
+  return AcceptById[Id] != 0;
+}
+
+/// Wide Sheng kernel (17–32 states): each 32-lane transition vector is
+/// split into a low and a high 16-lane half, both shuffled by a biased
+/// copy of the current id. PSHUFB zeroes any lane whose control byte has
+/// bit 7 set, so `id + 0x70` selects from the low half exactly when
+/// id <= 15 (and zeroes otherwise) while `id - 16` selects from the high
+/// half exactly when id >= 16 — OR-ing the two shuffles is the step. No
+/// blend, so plain SSSE3 suffices and the serial dependency per byte is
+/// add/sub + shuffle + or, still well under the scalar walk's L1-load
+/// chain.
+__attribute__((always_inline, target("ssse3"))) inline bool
+CompiledDfa::sheng32Body(const std::string &In) const {
+  const uint8_t *Vecs = ShengTbl.data();
+  const uint16_t *Tab = Tab16.data();
+  const size_t N = In.size();
+  const __m128i LoBias = _mm_set1_epi8(0x70);
+  const __m128i Sixteen = _mm_set1_epi8(16);
+  uint32_t Id = Start >> StrideLog2;
+  size_t I = 0;
+  uint64_t Skipped = 0;
+  while (I < N) {
+    if (Id == 0)
+      break;
+    if (Prefilter) {
+      const SkipInfo &K = Skips[Id];
+      if (K.enabled()) {
+        size_t J = skim(In, I, K);
+        Skipped += J - I;
+        I = J;
+      }
+    }
+    const size_t End = std::min(N, I + BlockChars);
+    __m128i Cur = _mm_cvtsi32_si128(static_cast<int>(Id));
+    while (I + 16 <= End) {
+      __m128i Chunk =
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(In.data() + I));
+      if (_mm_movemask_epi8(Chunk))
+        break; // non-ASCII byte in this chunk: finish it on the scalar path
+      const uint8_t *P = reinterpret_cast<const uint8_t *>(In.data()) + I;
+      for (size_t J = 0; J != 16; ++J) {
+        const __m128i *Row =
+            reinterpret_cast<const __m128i *>(Vecs + size_t{P[J]} * 32);
+        __m128i Lo = _mm_shuffle_epi8(_mm_loadu_si128(Row),
+                                      _mm_add_epi8(Cur, LoBias));
+        __m128i Hi = _mm_shuffle_epi8(_mm_loadu_si128(Row + 1),
+                                      _mm_sub_epi8(Cur, Sixteen));
+        Cur = _mm_or_si128(Lo, Hi);
+      }
+      I += 16;
+    }
+    Id = static_cast<uint32_t>(_mm_cvtsi128_si32(Cur)) & 0xFFu;
+    while (I < End && Id != 0) { // block tail / non-ASCII: scalar steps
+      uint32_t Cp = static_cast<uint8_t>(In[I]);
+      if (Cp < 0x80)
+        ++I;
+      else
+        Cp = decodeUtf8At(In, I);
+      Id = static_cast<uint32_t>(
+               Tab[(static_cast<size_t>(Id) << StrideLog2) +
+                   Compressor.classOf(Cp)]) >>
+           StrideLog2;
+    }
+  }
+  SBD_OBS_ADD(CompiledCharsScanned, I - Skipped);
+  SBD_OBS_ADD(CompiledPrefilterSkips, Skipped);
+  return AcceptById[Id] != 0;
+}
+
+__attribute__((target("ssse3"))) bool
+CompiledDfa::scanSheng32(const std::string &In) const {
+  return sheng32Body(In);
+}
+
+__attribute__((target("avx2"))) bool
+CompiledDfa::scanSheng32Avx(const std::string &In) const {
+  return sheng32Body(In);
+}
+#endif
+
+#if SBD_COMPILE_SIMD && defined(__aarch64__)
+/// NEON twin of scanSheng: TBL instead of PSHUFB, vmaxvq instead of
+/// movemask.
+bool CompiledDfa::scanShengNeon(const std::string &In) const {
+  const uint8_t *Vecs = ShengTbl.data();
+  const uint16_t *Tab = Tab16.data();
+  const size_t N = In.size();
+  uint32_t Id = Start >> StrideLog2;
+  size_t I = 0;
+  uint64_t Skipped = 0;
+  while (I < N) {
+    if (Id == 0)
+      break;
+    if (Prefilter) {
+      const SkipInfo &K = Skips[Id];
+      if (K.enabled()) {
+        size_t J = skim(In, I, K);
+        Skipped += J - I;
+        I = J;
+      }
+    }
+    const size_t End = std::min(N, I + BlockChars);
+    uint8x16_t Cur = vdupq_n_u8(static_cast<uint8_t>(Id));
+    while (I + 16 <= End) {
+      uint8x16_t Chunk =
+          vld1q_u8(reinterpret_cast<const uint8_t *>(In.data() + I));
+      if (vmaxvq_u8(Chunk) >= 0x80)
+        break;
+      const uint8_t *P = reinterpret_cast<const uint8_t *>(In.data()) + I;
+      for (size_t J = 0; J != 16; ++J)
+        Cur = vqtbl1q_u8(vld1q_u8(Vecs + static_cast<size_t>(P[J]) * 16),
+                         Cur);
+      I += 16;
+    }
+    Id = vgetq_lane_u8(Cur, 0);
+    while (I < End && Id != 0) {
+      uint32_t Cp = static_cast<uint8_t>(In[I]);
+      if (Cp < 0x80)
+        ++I;
+      else
+        Cp = decodeUtf8At(In, I);
+      Id = static_cast<uint32_t>(
+               Tab[(static_cast<size_t>(Id) << StrideLog2) +
+                   Compressor.classOf(Cp)]) >>
+           StrideLog2;
+    }
+  }
+  SBD_OBS_ADD(CompiledCharsScanned, I - Skipped);
+  SBD_OBS_ADD(CompiledPrefilterSkips, Skipped);
+  return AcceptById[Id] != 0;
+}
+
+/// NEON twin of scanSheng32 — TBL2 consumes the whole 32-lane transition
+/// vector in one instruction, no split/blend needed.
+bool CompiledDfa::scanSheng32Neon(const std::string &In) const {
+  const uint8_t *Vecs = ShengTbl.data();
+  const uint16_t *Tab = Tab16.data();
+  const size_t N = In.size();
+  uint32_t Id = Start >> StrideLog2;
+  size_t I = 0;
+  uint64_t Skipped = 0;
+  while (I < N) {
+    if (Id == 0)
+      break;
+    if (Prefilter) {
+      const SkipInfo &K = Skips[Id];
+      if (K.enabled()) {
+        size_t J = skim(In, I, K);
+        Skipped += J - I;
+        I = J;
+      }
+    }
+    const size_t End = std::min(N, I + BlockChars);
+    uint8x16_t Cur = vdupq_n_u8(static_cast<uint8_t>(Id));
+    while (I + 16 <= End) {
+      uint8x16_t Chunk =
+          vld1q_u8(reinterpret_cast<const uint8_t *>(In.data() + I));
+      if (vmaxvq_u8(Chunk) >= 0x80)
+        break;
+      const uint8_t *P = reinterpret_cast<const uint8_t *>(In.data()) + I;
+      for (size_t J = 0; J != 16; ++J) {
+        uint8x16x2_t Row = vld1q_u8_x2(Vecs + size_t{P[J]} * 32);
+        Cur = vqtbl2q_u8(Row, Cur);
+      }
+      I += 16;
+    }
+    Id = vgetq_lane_u8(Cur, 0);
+    while (I < End && Id != 0) {
+      uint32_t Cp = static_cast<uint8_t>(In[I]);
+      if (Cp < 0x80)
+        ++I;
+      else
+        Cp = decodeUtf8At(In, I);
+      Id = static_cast<uint32_t>(
+               Tab[(static_cast<size_t>(Id) << StrideLog2) +
+                   Compressor.classOf(Cp)]) >>
+           StrideLog2;
+    }
+  }
+  SBD_OBS_ADD(CompiledCharsScanned, I - Skipped);
+  SBD_OBS_ADD(CompiledPrefilterSkips, Skipped);
+  return AcceptById[Id] != 0;
+}
+#endif
+
+bool CompiledDfa::matches(const std::string &Utf8) const {
+#if SBD_COMPILE_SIMD && defined(__x86_64__)
+  if (Sheng && haveSsse3())
+    return scanSheng(Utf8);
+  if (ShengWide) {
+    if (haveAvx2()) // same body, VEX-encoded: no per-byte register copies
+      return scanSheng32Avx(Utf8);
+    if (haveSsse3())
+      return scanSheng32(Utf8);
+  }
+#elif SBD_COMPILE_SIMD && defined(__aarch64__)
+  if (Sheng)
+    return scanShengNeon(Utf8);
+  if (ShengWide)
+    return scanSheng32Neon(Utf8);
+#endif
+  return Use16 ? scanUtf8<uint16_t>(Utf8) : scanUtf8<uint32_t>(Utf8);
+}
+
+bool CompiledDfa::matches(const std::vector<uint32_t> &Word) const {
+  return Use16 ? scanWord<uint16_t>(Word) : scanWord<uint32_t>(Word);
+}
+
+//===----------------------------------------------------------------------===//
+// Audit: packed entries vs fresh derivative rows
+//===----------------------------------------------------------------------===//
+
+size_t CompiledDfa::auditTable(DerivativeEngine &Eng) const {
+  RegexManager &M = Eng.regexManager();
+  TrManager &T = Eng.trManager();
+  const uint32_t NS = numStates();
+  size_t Bad = 0;
+
+  // Language-level cross-check (mirrors CachedMatcher::auditRow, adapted
+  // to the minimized table): packed states are Nerode classes, so a fresh
+  // derivative need not be *identical* to the representative regex it
+  // lands on — only language-equal. Pairing the independent δdnf closure
+  // with a table walk and requiring the accept bits to agree on every
+  // reachable (derivative, state) pair checks exactly that: a corrupted
+  // entry reroutes some word to a state with a different residual
+  // language, and the first differing suffix surfaces as an accept
+  // mismatch. The pair space is finite (fresh closure × packed states).
+  FlatMap64 SeenPairs;
+  std::vector<std::pair<Re, uint32_t>> Work;
+  auto Push = [&](Re R, uint32_t Id) {
+    uint64_t Key = (static_cast<uint64_t>(R.Id) << 32) | Id;
+    if (!SeenPairs.find(Key)) {
+      SeenPairs.insert(Key, 1);
+      Work.push_back({R, Id});
+    }
+  };
+  Push(StateRe[Start >> StrideLog2], Start >> StrideLog2);
+  while (!Work.empty()) {
+    auto [R, S] = Work.back();
+    Work.pop_back();
+    if ((M.nullable(R) ? 1u : 0u) != AcceptById[S]) {
+      ++Bad;
+      continue; // languages already differ; don't chase the divergence
+    }
+    Tr Dnf = Eng.derivativeDnf(R);
+    for (uint32_t Cls = 0; Cls != NumClasses; ++Cls) {
+      Re Step =
+          T.apply(Dnf, Compressor.representative(static_cast<uint16_t>(Cls)));
+      uint32_t Tgt = targetOf(S, static_cast<uint16_t>(Cls));
+      if (Tgt >= NS) {
+        ++Bad;
+        continue;
+      }
+      Push(Step, Tgt);
+    }
+  }
+
+  // Packed-entry and side-table self-consistency (no engine involvement):
+  // every accept bit must mirror AcceptById of its own target, and the
+  // Sheng vectors / prefilter escapes must agree with the packed rows they
+  // were derived from.
+  for (uint32_t S = 0; S != NS; ++S) {
+    for (uint32_t Cls = 0; Cls != NumClasses; ++Cls) {
+      size_t Idx = (static_cast<size_t>(S) << StrideLog2) + Cls;
+      uint32_t Entry = Use16 ? Tab16[Idx] : Tab32[Idx];
+      uint32_t Tgt = Entry >> StrideLog2;
+      if (Tgt >= NS || (Entry & 1u) != AcceptById[Tgt])
+        ++Bad;
+    }
+    const SkipInfo &K = Skips[S];
+    const size_t ShengRow = Sheng ? 16 : 32;
+    for (uint32_t B = 0; B != 128; ++B) {
+      uint32_t Tgt = targetOf(S, Compressor.classOf(B));
+      if ((Sheng || ShengWide) &&
+          ShengTbl[static_cast<size_t>(B) * ShengRow + S] != Tgt)
+        ++Bad;
+      if (K.enabled()) {
+        // Prefilter soundness: a byte changes the state iff it is listed.
+        bool Listed = K.NumEscapes != 0 &&
+                      (B == K.Escape[0] || B == K.Escape[1]);
+        if ((Tgt != S) != Listed)
+          ++Bad;
+      }
+    }
+  }
+  return Bad;
+}
+
+void CompiledDfa::corruptEntryForTest(uint32_t State, uint16_t Cls,
+                                      uint32_t RawTarget) {
+  if (State >= numStates() || Cls >= NumClasses)
+    return;
+  uint32_t Entry = (RawTarget << StrideLog2) |
+                   (RawTarget < numStates() ? AcceptById[RawTarget] : 0u);
+  size_t Idx = (static_cast<size_t>(State) << StrideLog2) + Cls;
+  if (Use16)
+    Tab16[Idx] = static_cast<uint16_t>(Entry);
+  else
+    Tab32[Idx] = Entry;
+}

@@ -1,0 +1,200 @@
+//===- compile/CompiledDfa.h - Frozen state-major DFA tables ----------------===//
+// sbd-lint: hot-path
+///
+/// \file
+/// The compiled serving path: freezes the *complete* derivative state space
+/// of one pattern into a contiguous state-major transition table over
+/// `AlphabetCompressor` class ids, then scans input with a block-based
+/// kernel instead of the lazy `CachedMatcher` step loop.
+///
+/// Soundness is the same derivative-closure argument the lazy matcher
+/// rests on (DESIGN.md §12): every guard reachable by repeated δ from the
+/// pattern is a Boolean combination of the pattern's own predicates ΨR, so
+/// the minterms of ΨR are uniform for every guard the closure can produce
+/// and one probe of a class representative decides the whole class. The
+/// compile step simply runs that probe loop to a fixpoint (or gives up at
+/// the cap — compilation is best-effort, callers fall back to the lazy
+/// path), then minimizes the closure by Moore partition refinement —
+/// derivative interning is syntactic, so the closure routinely carries
+/// several states per residual language — and packs the minimal DFA. The
+/// resulting table is immutable: no eviction, no epoch checks, no
+/// re-expansion.
+///
+/// Table encoding (the RE2/SRM "premultiplied" trick): one row of
+/// `1 << StrideLog2` entries per state, entry =
+///
+///   (targetStateId << StrideLog2) | acceptBit(target)
+///
+/// so the inner loop is `S = Table[(S & ~1) + classOf(cp)]` — the entry
+/// *is* the next row's base offset, no multiply, and ν(state) rides along
+/// in bit 0 (stride is always >= 2, so the bit is free). State 0 is the
+/// dead sink (row of zeroes, offset 0), which makes `S < stride` the dead
+/// test. Entries are uint16_t when the offsets fit and uint32_t otherwise.
+///
+/// The scanning kernel processes UTF-8 in blocks: at each block boundary
+/// it short-circuits on the dead sink and engages a memchr-style prefilter
+/// when the current state self-loops on all but at most two ASCII bytes
+/// (the "required bytes" induced by the pattern's minterms — e.g. every
+/// `.*lit…` state skims for `l`). The inner loops: a portable scalar
+/// table walk, an SSE2/NEON skimmer for the prefilter, and — for tables
+/// with at most 16 states — a Sheng-style SIMD kernel that keeps the
+/// state in a vector lane and steps it with one PSHUFB/TBL per byte.
+/// Tables with 17–32 states use the wide variant: two PSHUFBs over the
+/// split transition vector, fused by bias-and-OR (one TBL2 on NEON),
+/// which beats the scalar walk because the serial dependency per byte is
+/// a few 1-cycle vector ops instead of an L1 load. Kernel choice is
+/// made per-process (`__builtin_cpu_supports`) and can be pinned to
+/// scalar with `-DSBD_COMPILE_SIMD=OFF` (the CI matrix builds both).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_COMPILE_COMPILEDDFA_H
+#define SBD_COMPILE_COMPILEDDFA_H
+
+#include "charset/AlphabetCompressor.h"
+#include "core/Derivatives.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sbd {
+
+/// Budgets for one compile attempt. Compilation is all-or-nothing: if the
+/// closure or the table would exceed a budget, compile() declines and the
+/// caller stays on the lazy path.
+struct CompiledDfaOptions {
+  /// Cap on derivative states in the frozen closure (incl. the dead sink).
+  size_t MaxStates = 4096;
+  /// Cap on the packed transition table, in bytes.
+  size_t MaxTableBytes = 1 << 20;
+  /// Allow the Sheng-style SIMD kernels when the table is eligible
+  /// (<= 16 states single-shuffle, <= 32 states split-shuffle; 16-bit
+  /// entries). Scalar table walk otherwise.
+  bool EnableSimd = true;
+  /// Engage the self-loop skimmer at block boundaries.
+  bool EnablePrefilter = true;
+};
+
+/// An immutable, fully-explored DFA for one pattern. Construction is
+/// `compile()`; a returned instance answers `matches` without ever touching
+/// the derivative engine again (the engine reference is not retained).
+class CompiledDfa {
+public:
+  /// Runs the derivative closure of \p Pattern over its minterm classes to
+  /// a fixpoint and packs it. Returns nullopt when a budget is exceeded —
+  /// never a partial table.
+  static std::optional<CompiledDfa>
+  compile(DerivativeEngine &Eng, Re Pattern, CompiledDfaOptions Opts = {});
+
+  /// Does the pattern accept the UTF-8 string? ASCII bytes feed the packed
+  /// table directly; other bytes decode first (same semantics as
+  /// CachedMatcher::matches).
+  bool matches(const std::string &Utf8) const;
+  /// Does the pattern accept the code-point word?
+  bool matches(const std::vector<uint32_t> &Word) const;
+
+  /// States in the frozen closure, incl. the dead sink at id 0.
+  uint32_t numStates() const { return static_cast<uint32_t>(StateRe.size()); }
+  /// Minterm classes of the pattern's predicate set.
+  uint32_t numClasses() const { return NumClasses; }
+  /// Packed table footprint in bytes.
+  size_t tableBytes() const {
+    return Use16 ? Tab16.size() * sizeof(uint16_t)
+                 : Tab32.size() * sizeof(uint32_t);
+  }
+  /// True when entries are uint32_t (offsets overflowed 16 bits).
+  bool wideEntries() const { return !Use16; }
+  /// True when the single-shuffle Sheng kernel is armed for this table
+  /// (<= 16 states; the scalar walk still serves hosts without SSSE3).
+  bool shengEligible() const { return Sheng; }
+  /// True when the split-shuffle wide Sheng kernel is armed (17–32
+  /// states; needs SSSE3 / NEON TBL2 at run time).
+  bool shengWideEligible() const { return ShengWide; }
+  /// The representative derivative of the (minimized) state \p Id — the
+  /// first-discovered member of its Nerode class (id 0 is ⊥).
+  Re stateRegex(uint32_t Id) const { return StateRe[Id]; }
+  /// The minterm partition the table is indexed by.
+  const AlphabetCompressor &compressor() const { return Compressor; }
+
+  /// Cross-checks the packed table against a fresh δdnf closure. Because
+  /// the table is minimized, entries are checked at the language level: a
+  /// pair traversal walks the independent derivative closure and the table
+  /// in lockstep and counts every reachable pair whose accept bits
+  /// disagree, plus packed/side-table self-consistency violations (accept
+  /// bit vs target, Sheng vectors, prefilter escapes). Returns the number
+  /// of mismatches; zero on a healthy table. Mirrors
+  /// CachedMatcher::auditRows; the compile-time hook that publishes
+  /// violations is gated behind SBD_AUDIT.
+  size_t auditTable(DerivativeEngine &Eng) const;
+
+  /// Test backdoor: repoint one packed entry at \p RawTarget (a state id;
+  /// the accept bit is re-derived from it), to prove auditTable() detects
+  /// corruption.
+  void corruptEntryForTest(uint32_t State, uint16_t Cls, uint32_t RawTarget);
+
+private:
+  CompiledDfa(const AlphabetCompressor &C) : Compressor(C) {}
+
+  /// Per-state prefilter: when a state self-loops on all but at most two
+  /// ASCII bytes, those escape bytes are the only ASCII way forward and the
+  /// skimmer can race to the first occurrence. NumEscapes == Disabled means
+  /// the state is not skimmable; 0x80 is an out-of-range sentinel byte (the
+  /// skimmer stops at any non-ASCII byte regardless).
+  struct SkipInfo {
+    static constexpr uint8_t Disabled = 0xFF;
+    uint8_t NumEscapes = Disabled;
+    uint8_t Escape[2] = {0x80, 0x80};
+    bool enabled() const { return NumEscapes != Disabled; }
+  };
+
+  template <typename EntryT> bool scanUtf8(const std::string &In) const;
+  template <typename EntryT>
+  bool scanWord(const std::vector<uint32_t> &Word) const;
+  /// Skims self-loop bytes from In[I..): returns the index of the first
+  /// escape byte / non-ASCII byte / end.
+  size_t skim(const std::string &In, size_t I, const SkipInfo &K) const;
+#if defined(__x86_64__)
+  bool scanSheng(const std::string &In) const;
+  /// Shared wide-kernel body, always-inlined into the two ISA-specific
+  /// entry points below (the AVX one exists purely for the VEX encoding:
+  /// three-operand forms drop the per-byte register copies SSE needs).
+  bool sheng32Body(const std::string &In) const;
+  bool scanSheng32(const std::string &In) const;
+  bool scanSheng32Avx(const std::string &In) const;
+#endif
+#if defined(__aarch64__)
+  bool scanShengNeon(const std::string &In) const;
+  bool scanSheng32Neon(const std::string &In) const;
+#endif
+  void buildSideTables(const std::vector<uint32_t> &Targets);
+  uint32_t targetOf(uint32_t State, uint16_t Cls) const {
+    size_t Idx = (static_cast<size_t>(State) << StrideLog2) + Cls;
+    return Use16 ? static_cast<uint32_t>(Tab16[Idx]) >> StrideLog2
+                 : Tab32[Idx] >> StrideLog2;
+  }
+
+  AlphabetCompressor Compressor;
+  uint32_t NumClasses = 1;
+  uint32_t StrideLog2 = 1;
+  /// Packed entry of the initial state ((id << StrideLog2) | accept).
+  uint32_t Start = 0;
+  bool Use16 = true;
+  bool Sheng = false;
+  bool ShengWide = false;
+  bool Prefilter = true;
+  std::vector<uint16_t> Tab16;
+  std::vector<uint32_t> Tab32;
+  /// id -> derivative regex (audit + introspection; not read while scanning).
+  std::vector<Re> StateRe;
+  std::vector<uint8_t> AcceptById;
+  std::vector<SkipInfo> Skips;
+  /// Sheng transition vectors: ShengTbl[b * R + s] = target id of state s
+  /// on ASCII byte b, where the row width R is 16 (single-shuffle, 2 KiB)
+  /// or 32 (wide split-shuffle, 4 KiB) — either way resident in L1.
+  std::vector<uint8_t> ShengTbl;
+};
+
+} // namespace sbd
+
+#endif // SBD_COMPILE_COMPILEDDFA_H

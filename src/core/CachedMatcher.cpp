@@ -4,6 +4,7 @@
 #include "core/CachedMatcher.h"
 
 #include "analysis/AuditHooks.h"
+#include "compile/CompiledDfa.h"
 #include "support/Unicode.h"
 
 #include <algorithm>
@@ -14,9 +15,37 @@ CachedMatcher::CachedMatcher(DerivativeEngine &Eng, Re Pattern, Options Opts)
     : Engine(Eng), M(Eng.regexManager()), T(Eng.trManager()),
       Compressor(Eng.regexManager().collectPredicates(Pattern)),
       NumClasses(Compressor.numClasses()),
-      MaxStates(Opts.MaxStates ? Opts.MaxStates : 1) {
+      MaxStates(Opts.MaxStates ? Opts.MaxStates : 1),
+      PromoteAfterChars(Opts.PromoteAfterChars),
+      CompileMaxStates(Opts.CompileMaxStates),
+      CompileMaxTableBytes(Opts.CompileMaxTableBytes) {
   // The cache starts empty, so the initial state always gets a slot.
   InitialState = internState(Pattern, DeadState, DeadState);
+}
+
+CachedMatcher::~CachedMatcher() = default;
+
+bool CachedMatcher::maybePromote(size_t Chars) {
+  if (Compiled)
+    return true;
+  CharsFed += Chars;
+  if (!PromoteAfterChars || PromotionFailed || CharsFed < PromoteAfterChars)
+    return false;
+  CompiledDfaOptions CO;
+  CO.MaxStates = CompileMaxStates;
+  CO.MaxTableBytes = CompileMaxTableBytes;
+  std::optional<CompiledDfa> C =
+      CompiledDfa::compile(Engine, States[InitialState].Regex, CO);
+  if (!C) {
+    // Over budget: never retry (the closure will not shrink), keep serving
+    // from the bounded lazy cache. Results are unchanged either way.
+    PromotionFailed = true;
+    SBD_OBS_INC(CompiledFallbacks);
+    return false;
+  }
+  Compiled = std::make_unique<CompiledDfa>(std::move(*C));
+  SBD_OBS_INC(CompiledPromotions);
+  return true;
 }
 
 uint32_t CachedMatcher::internState(Re R, uint32_t Pin0, uint32_t Pin1) {
@@ -196,6 +225,8 @@ bool CachedMatcher::accepted(uint32_t Slot, Re Cur) {
 }
 
 bool CachedMatcher::matches(const std::vector<uint32_t> &Word) {
+  if (maybePromote(Word.size()))
+    return Compiled->matches(Word);
   uint32_t Slot = InitialState;
   Re Cur = States[InitialState].Regex;
   touch(Slot);
@@ -206,6 +237,8 @@ bool CachedMatcher::matches(const std::vector<uint32_t> &Word) {
 }
 
 bool CachedMatcher::matches(const std::string &Utf8) {
+  if (maybePromote(Utf8.size()))
+    return Compiled->matches(Utf8);
   // Streaming decode: no intermediate code-point buffer.
   uint32_t Slot = InitialState;
   Re Cur = States[InitialState].Regex;

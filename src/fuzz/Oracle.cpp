@@ -38,6 +38,10 @@ const char *DifferentialOracle::engineName(size_t Id) {
     return "dfa_matcher";
   case EngTinyDfaMatcher:
     return "tiny_dfa_matcher";
+  case EngCompiledDfa:
+    return "compiled_dfa";
+  case EngCompiledTiny:
+    return "compiled_tiny_fallback";
   case EngSbfa:
     return "sbfa";
   case EngSafa:
@@ -220,12 +224,35 @@ void DifferentialOracle::beginRegex(Re Rx, std::vector<Discrepancy> &Out) {
   CurCompl = M.complement(Rx);
   ConsensusUnsat = false;
 
+  // Promotion is pinned off for the two lazy engines: the compiled path is
+  // cross-checked through its own engines below, and these two must keep
+  // exercising the lazy step loop (and the tiny cap's eviction/fallback).
   CachedMatcher::Options Full;
   Full.MaxStates = Opts.MatcherMaxStates;
+  Full.PromoteAfterChars = 0;
   DfaMatcher = std::make_unique<CachedMatcher>(Eng, Cur, Full);
   CachedMatcher::Options Tiny;
   Tiny.MaxStates = Opts.TinyMatcherMaxStates;
+  Tiny.PromoteAfterChars = 0;
   TinyMatcher = std::make_unique<CachedMatcher>(Eng, Cur, Tiny);
+
+  CompiledD.reset();
+  TinyPromoted.reset();
+  if (Opts.UseCompiledDfa) {
+    CompiledDfaOptions CD;
+    CD.MaxStates = Opts.CompiledMaxStates;
+    CompiledD = timed(EngCompiledDfa,
+                      [&] { return CompiledDfa::compile(Eng, Cur, CD); });
+    // Forced-fallback configuration: promotion fires on the first word but
+    // the compile budget is hopeless, so the matcher must take the
+    // compiled_fallbacks path and keep serving lazily — cross-checked on
+    // every word like any other engine.
+    CachedMatcher::Options TP;
+    TP.MaxStates = Opts.MatcherMaxStates;
+    TP.PromoteAfterChars = 1;
+    TP.CompileMaxStates = Opts.TinyCompiledMaxStates;
+    TinyPromoted = std::make_unique<CachedMatcher>(Eng, Cur, TP);
+  }
 
   SbfaA = timed(EngSbfa, [&] {
     return Sbfa::build(Eng, Cur, Opts.SbfaMaxStates);
@@ -285,6 +312,16 @@ void DifferentialOracle::checkWord(const std::vector<uint32_t> &W,
                  timed(EngTinyDfaMatcher,
                        [&] { return TinyMatcher->matches(W); }),
                  Ref, Out);
+  if (CompiledD)
+    noteMembership(W, engineName(EngCompiledDfa),
+                   timed(EngCompiledDfa,
+                         [&] { return CompiledD->matches(W); }),
+                   Ref, Out);
+  if (TinyPromoted)
+    noteMembership(W, engineName(EngCompiledTiny),
+                   timed(EngCompiledTiny,
+                         [&] { return TinyPromoted->matches(W); }),
+                   Ref, Out);
   if (SbfaA)
     noteMembership(W, engineName(EngSbfa),
                    timed(EngSbfa, [&] { return SbfaA->accepts(W); }), Ref,

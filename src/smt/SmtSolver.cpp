@@ -3,6 +3,7 @@
 #include "smt/SmtSolver.h"
 
 #include "smt/SmtPrinter.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 #include "support/Unicode.h"
 
@@ -140,6 +141,18 @@ private:
     Out += "\n :arena-nodes " + Ull(St.ArenaNodes);
     Out += "\n :peak-frontier " + Ull(St.PeakFrontier);
     Out += "\n :solver-steps " + Ull(St.SolverSteps);
+    // Compiled serving path. These live in the process-wide registry (the
+    // compiled kernel never touches per-query stats), so they are
+    // cumulative across the solver's lifetime like the rest of this list.
+    obs::MetricShard Reg = obs::MetricsRegistry::global().snapshot();
+    Out += "\n :compiled-promotions " +
+           Ull(Reg.get(obs::Counter::CompiledPromotions));
+    Out += "\n :compiled-chars-scanned " +
+           Ull(Reg.get(obs::Counter::CompiledCharsScanned));
+    Out += "\n :compiled-prefilter-skips " +
+           Ull(Reg.get(obs::Counter::CompiledPrefilterSkips));
+    Out += "\n :compiled-fallbacks " +
+           Ull(Reg.get(obs::Counter::CompiledFallbacks));
     Out += "\n :derive-time-us " + std::to_string(St.DeriveUs);
     Out += "\n :dnf-time-us " + std::to_string(St.DnfUs);
     Out += "\n :search-time-us " + std::to_string(St.SearchUs);
@@ -604,6 +617,14 @@ private:
       }
       if (!R.isSat())
         return false;
+      // Route the witness back through the solver's promoted matcher pool
+      // (compiled table once the regex is hot): an independent end-to-end
+      // membership check of every literal before the model is emitted.
+      for (const MembershipLiteral &L : Literals)
+        if (Solver.matchesWord(L.Regex, R.Witness) != L.Positive) {
+          SawUnknown = true; // soundness guard: never emit a bad model
+          return false;
+        }
       Model.emplace_back(Var, toUtf8(R.Witness));
     }
     // Unconstrained variables default to the empty string.

@@ -64,6 +64,16 @@ BatchResult solveOne(WorkerStack &W, const BatchQuery &Q, bool LongLived) {
   if (LongLived)
     Opts.EagerRowRecording = true;
   Out.Result = W.S.checkSat(Parsed.Value, Opts);
+  // Sat witnesses are re-validated through the worker's matcher pool (the
+  // compiled serving path once a regex is hot). This is a pure guard:
+  // verdicts and witnesses are unchanged on the (only observed) passing
+  // path, and a divergence is downgraded to Unknown rather than shipping
+  // an invalid witness.
+  if (Out.Result.isSat() &&
+      !W.S.matchesWord(Parsed.Value, Out.Result.Witness)) {
+    Out.Result.Status = SolveStatus::Unknown;
+    Out.Result.Note = "witness failed compiled-matcher validation";
+  }
   Out.Result.Stats.ParseUs = ParseUs;
   Out.Result.Stats.TotalUs += ParseUs;
   Out.Result.TimeUs += ParseUs;

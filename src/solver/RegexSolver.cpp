@@ -341,3 +341,20 @@ Re RegexSolver::positionConstraint(const std::vector<CharSet> &Positions) {
   Parts.push_back(M.top());
   return M.concatList(Parts);
 }
+
+bool RegexSolver::matchesWord(Re R, const std::vector<uint32_t> &Word) {
+  for (PooledMatcher &P : MatcherPool)
+    if (P.ReId == R.Id)
+      return P.Matcher->matches(Word);
+  if (MatcherPool.size() == MaxPooledMatchers)
+    MatcherPool.clear(); // wholesale flush: matchers rebuild lazily
+  CachedMatcher::Options MO;
+  // Validation words are short, so the promotion clock is set low — a
+  // regex validated a handful of times earns the compiled table — and the
+  // closure cap tight, so pathological patterns stay on the lazy path.
+  MO.PromoteAfterChars = 512;
+  MO.CompileMaxStates = 512;
+  MatcherPool.push_back(
+      {R.Id, std::make_unique<CachedMatcher>(Engine, R, MO)});
+  return MatcherPool.back().Matcher->matches(Word);
+}

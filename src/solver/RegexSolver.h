@@ -22,9 +22,12 @@
 #ifndef SBD_SOLVER_REGEXSOLVER_H
 #define SBD_SOLVER_REGEXSOLVER_H
 
+#include "core/CachedMatcher.h"
 #include "core/Derivatives.h"
 #include "solver/DerivativeGraph.h"
 #include "solver/SolverResult.h"
+
+#include <memory>
 
 namespace sbd {
 
@@ -81,6 +84,15 @@ public:
   /// paper's side-constraint case splits.
   Re positionConstraint(const std::vector<CharSet> &Positions);
 
+  /// Concrete membership of \p Word in L(R), served from a per-regex
+  /// matcher pool. Each distinct regex gets one promotion-enabled
+  /// CachedMatcher, so regexes validated repeatedly (witness checks from
+  /// the SMT front end and the batch workers) are promoted onto the
+  /// compiled state-major table and later checks run the SIMD scan loop
+  /// instead of re-deriving. The pool is bounded; overflow flushes it
+  /// wholesale (matchers rebuild lazily, results never change).
+  bool matchesWord(Re R, const std::vector<uint32_t> &Word);
+
   /// The persistent graph (shared across queries; exposes Dead/Alive).
   DerivativeGraph &graph() { return Graph; }
 
@@ -102,6 +114,15 @@ private:
   RegexManager &M;
   TrManager &T;
   DerivativeGraph Graph;
+
+  /// matchesWord()'s per-regex matcher pool. Linear scan: the pool is tiny
+  /// and the hit path is one id compare per entry.
+  struct PooledMatcher {
+    uint32_t ReId;
+    std::unique_ptr<CachedMatcher> Matcher;
+  };
+  static constexpr size_t MaxPooledMatchers = 32;
+  std::vector<PooledMatcher> MatcherPool;
 };
 
 } // namespace sbd

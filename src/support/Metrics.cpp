@@ -34,6 +34,14 @@ const char *sbd::obs::counterName(Counter C) {
     return "dfa_evictions";
   case Counter::DenseRowHits:
     return "dense_row_hits";
+  case Counter::CompiledPromotions:
+    return "compiled_promotions";
+  case Counter::CompiledCharsScanned:
+    return "compiled_chars_scanned";
+  case Counter::CompiledPrefilterSkips:
+    return "compiled_prefilter_skips";
+  case Counter::CompiledFallbacks:
+    return "compiled_fallbacks";
   case Counter::SolverSteps:
     return "solver_steps";
   case Counter::TimeoutChecks:

@@ -77,6 +77,11 @@ enum class Counter : uint32_t {
   DfaStatesBuilt,      ///< lazy-DFA states expanded (dense rows filled)
   DfaEvictions,        ///< lazy-DFA states evicted by the bounded cache
   DenseRowHits,        ///< vertex expansions served from a cached dense row
+  // Compiled serving path (compile/CompiledDfa.h, CachedMatcher promotion).
+  CompiledPromotions,     ///< hot matchers swapped onto a compiled table
+  CompiledCharsScanned,   ///< characters scanned by the compiled kernel
+  CompiledPrefilterSkips, ///< characters skipped by the self-loop prefilter
+  CompiledFallbacks,      ///< promotion attempts that overflowed the budget
   // Solver search loop.
   SolverSteps,         ///< states dequeued by RegexSolver::checkSat
   TimeoutChecks,       ///< deadline clock reads in the search loop
