@@ -91,5 +91,6 @@ int main(int Argc, char **Argv) {
               SolveMs, WallSec > 0 ? Queries.size() / WallSec : 0.0);
   std::printf("cache: %s\n", Solver.stats().summary().c_str());
   printPhaseTable(Agg);
+  printEnginePhaseTable(Solver.enginePhases());
   return Args.endObservation(Agg) ? 0 : 1;
 }

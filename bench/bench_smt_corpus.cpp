@@ -15,7 +15,7 @@
 #include "Workloads.h"
 
 #include "re/RegexParser.h"
-#include "smt/SmtPrinter.h"
+#include "re/SmtPrinter.h"
 #include "smt/SmtSolver.h"
 #include "solver/BatchSolver.h"
 #include "support/Stopwatch.h"
@@ -159,6 +159,8 @@ int main(int Argc, char **Argv) {
     }
     Doc += "\n  ],\n  \"counters\": ";
     Doc += obs::MetricsRegistry::global().snapshot().json();
+    Doc += ",\n  \"histograms\": ";
+    Doc += obs::HistogramRegistry::global().snapshot().json();
     Doc += ",\n  \"aggregate\": ";
     Doc += Agg.json();
     Doc += "\n}\n";

@@ -13,7 +13,7 @@
 
 #include "../bench/workloads/Workloads.h"
 #include "re/RegexParser.h"
-#include "smt/SmtPrinter.h"
+#include "re/SmtPrinter.h"
 
 #include <cstdio>
 #include <cstdlib>

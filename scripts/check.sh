@@ -12,6 +12,7 @@
 #   - ci/werror.sh            -Wall -Wextra -Wshadow -Wconversion -Werror
 #   - ci/audit.sh             full suite with term-DAG invariant audits live
 #   - ci/obs_off.sh           observability layer compiles out cleanly
+#   - ci/obs_overhead.sh      obs ON-vs-OFF bench ratio + sbd-explain replay
 #   - ci/compile_scalar.sh    compiled matcher with SIMD kernels pinned off
 #   - ci/tsan.sh              parallel batch solver + obs registry tests
 #   - ci/asan.sh              ASan+UBSan full suite (mandatory, not opt-in)
@@ -42,6 +43,7 @@ python3 "$CI_DIR"/validate_workflow.py
 "$CI_DIR"/werror.sh
 "$CI_DIR"/audit.sh
 "$CI_DIR"/obs_off.sh
+"$CI_DIR"/obs_overhead.sh
 "$CI_DIR"/compile_scalar.sh
 "$CI_DIR"/tsan.sh
 "$CI_DIR"/asan.sh

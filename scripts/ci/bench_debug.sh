@@ -43,9 +43,14 @@ trace = json.load(open("/tmp/sbd-trace.json"))
 assert trace["traceEvents"], "empty traceEvents"
 assert all(k in trace["traceEvents"][0] for k in ("name", "ph", "ts", "dur"))
 stats = json.load(open("/tmp/sbd-stats.json"))
-for key in ("derivative_calls", "dnf_calls", "memo_hits", "solve_time_us"):
+for key in ("derivative_calls", "dnf_calls", "memo_hits", "solve_time_us",
+            "trace_events_dropped", "slow_queries_captured"):
     assert key in stats["counters"], key
-for key in ("parse_us", "derive_us", "dnf_us", "search_us", "total_us"):
+for key in ("engine", "parse_us", "minterm_us", "derive_us", "dnf_us",
+            "cache_probe_us", "scan_us", "search_us", "total_us"):
     assert key in stats["aggregate"], key
+for hist in ("solve_latency_us", "dnf_expansion_arcs"):
+    for key in ("count", "p50", "p90", "p99", "buckets"):
+        assert key in stats["histograms"][hist], f"{hist}.{key}"
 print("stats smoke ok")
 EOF

@@ -49,15 +49,24 @@ HOT_PATH_MARKER = "sbd-lint: hot-path"
 UNORDERED = re.compile(r"\bstd::unordered_(?:map|set)\b|#include\s*<unordered_(?:map|set)>")
 
 # Rule 3: raw shard access outside the obs layer. The macros themselves and
-# the registry implementation are the allowlist; Audit.h publishes through
-# SBD_OBS_ADD so it needs no exemption.
+# the registry/exposition implementation are the allowlist; Audit.h
+# publishes through SBD_OBS_ADD so it needs no exemption. The histogram
+# shard accessor and both registries' local() are covered the same way.
 OBS_ALLOWLIST = {
     SRC / "support" / "Metrics.h",
     SRC / "support" / "Metrics.cpp",
     SRC / "support" / "Trace.h",
     SRC / "support" / "Trace.cpp",
+    SRC / "support" / "Histogram.h",
+    SRC / "support" / "Histogram.cpp",
+    SRC / "support" / "Exposition.cpp",
+    SRC / "solver" / "SlowQueryLog.cpp",
 }
-RAW_OBS = re.compile(r"\bobs::tlsShard\s*\(|\btlsShard\s*\(\s*\)\s*\.add\b|\bMetricsRegistry::global\s*\(\s*\)\s*\.local\b")
+RAW_OBS = re.compile(
+    r"\bobs::tlsShard\s*\(|\btlsShard\s*\(\s*\)\s*\.add\b"
+    r"|\bobs::tlsHistShard\s*\(|\btlsHistShard\s*\(\s*\)\s*\.record\b"
+    r"|\bMetricsRegistry::global\s*\(\s*\)\s*\.local\b"
+    r"|\bHistogramRegistry::global\s*\(\s*\)\s*\.local\b")
 
 LINE_COMMENT = re.compile(r"//.*$")
 

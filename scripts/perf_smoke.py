@@ -21,17 +21,27 @@ Two modes:
       Exits 0 with a message when the baseline is absent, so fresh clones
       and non-perf branches are not blocked.
 
+  perf_smoke.py --trend [bench_trend.py args...]
+      Line up every checked-in BENCH_PR<n>.json and print the perf
+      trajectory across PRs (delegates to scripts/bench_trend.py) — the
+      long-horizon view the one-baseline compare cannot give.
+
 Beyond the ratio checks, the guard asserts on every compare that
   - dense_row_hits > 0: the solver's dense-row replay path actually fired;
   - dfa_states_built > 0 and alphabet_minterms > 0: the lazy-DFA series
     really built states over a compressed alphabet (both were silently 0 in
     BENCH_PR4.json because only the corpus bench reported counters);
+  - the solve_latency_us and dnf_expansion_arcs histograms carry samples:
+    the profiling layer (DESIGN.md section 13) really observed the run —
+    counts are asserted rather than microsecond sums, which can floor to 0
+    at --quick scale;
   - the compiled serving path beats the lazy cached walk by >= GATE_RATIO
     on the 1KiB throughput series (the promotion payoff the compiled
     subsystem exists for).
 """
 
 import json
+import os
 import sys
 
 TOLERANCE = 2.5
@@ -96,12 +106,18 @@ def payoff_ratio(micro):
     return cached[0] / compiled[0]
 
 
+# Histograms the corpus run must have populated (asserted by count, not by
+# microsecond sums, which can floor to 0 at --quick scale).
+REQUIRED_HISTOGRAMS = ("solve_latency_us", "dnf_expansion_arcs")
+
+
 def load_corpus(path):
     with open(path) as f:
         doc = json.load(f)
     groups = {g["name"]: float(g["direct_ms"]) for g in doc.get("groups", [])}
     counters = doc.get("counters", {})
-    return groups, counters
+    histograms = doc.get("histograms", {})
+    return groups, counters, histograms
 
 
 def snapshot(micro_path, corpus_path, out_path):
@@ -112,7 +128,8 @@ def snapshot(micro_path, corpus_path, out_path):
         print(f"perf-smoke: refusing snapshot: compiled payoff {shown} "
               f"< {GATE_RATIO}x on {COMPILED_SERIES}")
         return 1
-    groups, counters = load_corpus(corpus_path)
+    groups, counters, histograms = load_corpus(corpus_path)
+    latency = histograms.get("solve_latency_us", {})
     doc = {
         "tolerance": TOLERANCE,
         "micro_ns": {name: ns for name, (ns, _) in micro.items()},
@@ -124,6 +141,13 @@ def snapshot(micro_path, corpus_path, out_path):
             for k in ("dense_row_hits", "dfa_states_built", "dfa_evictions",
                       "alphabet_minterms")
             if k in counters
+        },
+        # Latency distribution of the corpus run (bench_trend.py plots the
+        # percentile drift across PR snapshots).
+        "corpus_latency": {
+            k: latency[k]
+            for k in ("count", "p50", "p90", "p99")
+            if k in latency
         },
     }
     with open(out_path, "w") as f:
@@ -159,7 +183,7 @@ def compare(baseline_path, micro_path, corpus_path):
                 f"  micro {name}: {cur_ns:.0f}ns vs baseline "
                 f"{base_ns:.0f}ns ({cur_ns / base_ns:.2f}x > {tol}x)")
 
-    cur_groups, cur_counters = load_corpus(corpus_path)
+    cur_groups, cur_counters, cur_hists = load_corpus(corpus_path)
     for name, base_ms in sorted(base.get("corpus_direct_ms", {}).items()):
         cur_ms = cur_groups.get(name)
         if cur_ms is None or base_ms <= 0.5:  # sub-ms groups are noise
@@ -183,6 +207,13 @@ def compare(baseline_path, micro_path, corpus_path):
                 f"  micro {key} == 0: the throughput series did not exercise "
                 "the measured path")
 
+    for hist in REQUIRED_HISTOGRAMS:
+        if cur_hists.get(hist, {}).get("count", 0) <= 0:
+            failures.append(
+                f"  corpus histogram {hist} is empty: the profiling layer "
+                "recorded no samples (built with -DSBD_OBS=0, or the "
+                "recording sites regressed)")
+
     ratio = payoff_ratio(cur_micro)
     if ratio is None:
         failures.append(
@@ -199,8 +230,11 @@ def compare(baseline_path, micro_path, corpus_path):
         print("If the slowdown is intended, refresh the baseline with "
               "'scripts/check.sh --quick'.")
         return 1
+    lat = cur_hists.get("solve_latency_us", {})
     print(f"perf-smoke: ok ({compared} series within {tol}x, "
-          f"dense_row_hits={hits}, compiled payoff {ratio:.2f}x)")
+          f"dense_row_hits={hits}, compiled payoff {ratio:.2f}x, "
+          f"latency p50/p99 {lat.get('p50', 0)}/{lat.get('p99', 0)}us "
+          f"over {lat.get('count', 0)} queries)")
     return 0
 
 
@@ -209,6 +243,10 @@ def main(argv):
         return snapshot(argv[2], argv[3], argv[4])
     if len(argv) == 5 and argv[1] == "compare":
         return compare(argv[2], argv[3], argv[4])
+    if len(argv) >= 2 and argv[1] in ("--trend", "trend"):
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        import bench_trend
+        return bench_trend.main(argv[2:])
     print(__doc__)
     return 2
 

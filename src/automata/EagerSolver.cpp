@@ -160,6 +160,7 @@ SolveResult EagerSolver::solve(Re R, const SolveOptions &Opts) {
   StatesBuilt = 0;
 
   SolveResult Result;
+  Result.Stats.Engine = SolveEngine::Eager;
   bool TimedOut = false;
   auto A = compileNfa(R, Opts.MaxStates, TimedOut);
   if (!A) {
@@ -168,6 +169,8 @@ SolveResult EagerSolver::solve(Re R, const SolveOptions &Opts) {
     Result.Note = TimedOut ? "timeout" : "state budget exhausted";
     Result.StatesExplored = StatesBuilt;
     Result.TimeUs = Watch.elapsedUs();
+    Result.Stats.TotalUs = Result.TimeUs;
+    Result.Stats.SearchUs = Result.TimeUs;
     Timer = nullptr;
     return Result;
   }
@@ -182,6 +185,8 @@ SolveResult EagerSolver::solve(Re R, const SolveOptions &Opts) {
   }
   Result.StatesExplored = StatesBuilt;
   Result.TimeUs = Watch.elapsedUs();
+  Result.Stats.TotalUs = Result.TimeUs;
+  Result.Stats.SearchUs = Result.TimeUs;
   Timer = nullptr;
   return Result;
 }

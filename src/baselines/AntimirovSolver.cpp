@@ -155,6 +155,7 @@ bool AntimirovSolver::supports(const RegexManager &Mgr, Re R) {
 SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
   Stopwatch Timer;
   SolveResult Result;
+  Result.Stats.Engine = SolveEngine::Antimirov;
 
   if (containsComplement(M, R)) {
     Result.Status = SolveStatus::Unsupported;
@@ -188,6 +189,8 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
     finishSat(R);
     Result.StatesExplored = 1;
     Result.TimeUs = Timer.elapsedUs();
+    Result.Stats.TotalUs = Result.TimeUs;
+    Result.Stats.SearchUs = Result.TimeUs;
     return Result;
   }
   Queue.push_back(R);
@@ -216,6 +219,8 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
       Result.Note = "complement is outside the partial-derivative fragment";
       Result.StatesExplored = Visited.size();
       Result.TimeUs = Timer.elapsedUs();
+      Result.Stats.TotalUs = Result.TimeUs;
+      Result.Stats.SearchUs = Result.TimeUs;
       return Result;
     }
     for (const LinearArc &Arc : Arcs) {
@@ -229,6 +234,8 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
         finishSat(Next);
         Result.StatesExplored = Visited.size();
         Result.TimeUs = Timer.elapsedUs();
+        Result.Stats.TotalUs = Result.TimeUs;
+        Result.Stats.SearchUs = Result.TimeUs;
         return Result;
       }
       Queue.push_back(Next);
@@ -238,10 +245,14 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
   if (Result.Status == SolveStatus::Unknown && !Result.Note.empty()) {
     Result.StatesExplored = Visited.size();
     Result.TimeUs = Timer.elapsedUs();
+    Result.Stats.TotalUs = Result.TimeUs;
+    Result.Stats.SearchUs = Result.TimeUs;
     return Result;
   }
   Result.Status = SolveStatus::Unsat;
   Result.StatesExplored = Visited.size();
   Result.TimeUs = Timer.elapsedUs();
+  Result.Stats.TotalUs = Result.TimeUs;
+  Result.Stats.SearchUs = Result.TimeUs;
   return Result;
 }

@@ -16,6 +16,7 @@ SolveResult BrzozowskiMintermSolver::solve(Re R, const SolveOptions &Opts) {
   Stopwatch Timer;
   RegexManager &M = Engine.regexManager();
   SolveResult Result;
+  Result.Stats.Engine = SolveEngine::BrzMinterm;
 
   // Eager alphabet finitization: one representative per minterm of ΨR.
   // D_a(R') = D_b(R') for â = b̂ whenever R' is a derivative of R, so the
@@ -51,6 +52,8 @@ SolveResult BrzozowskiMintermSolver::solve(Re R, const SolveOptions &Opts) {
     finishSat(R);
     Result.StatesExplored = 1;
     Result.TimeUs = Timer.elapsedUs();
+    Result.Stats.TotalUs = Result.TimeUs;
+    Result.Stats.SearchUs = Result.TimeUs;
     return Result;
   }
   Queue.push_back(R);
@@ -63,6 +66,8 @@ SolveResult BrzozowskiMintermSolver::solve(Re R, const SolveOptions &Opts) {
       Result.Note = "state budget exhausted";
       Result.StatesExplored = Visited.size();
       Result.TimeUs = Timer.elapsedUs();
+      Result.Stats.TotalUs = Result.TimeUs;
+      Result.Stats.SearchUs = Result.TimeUs;
       return Result;
     }
     if (Opts.TimeoutMs > 0 && (++Steps & 0x0F) == 0 &&
@@ -72,6 +77,8 @@ SolveResult BrzozowskiMintermSolver::solve(Re R, const SolveOptions &Opts) {
       Result.Note = "timeout";
       Result.StatesExplored = Visited.size();
       Result.TimeUs = Timer.elapsedUs();
+      Result.Stats.TotalUs = Result.TimeUs;
+      Result.Stats.SearchUs = Result.TimeUs;
       return Result;
     }
     Re Cur = Queue.front();
@@ -86,6 +93,8 @@ SolveResult BrzozowskiMintermSolver::solve(Re R, const SolveOptions &Opts) {
         finishSat(Next);
         Result.StatesExplored = Visited.size();
         Result.TimeUs = Timer.elapsedUs();
+        Result.Stats.TotalUs = Result.TimeUs;
+        Result.Stats.SearchUs = Result.TimeUs;
         return Result;
       }
       Queue.push_back(Next);
@@ -97,5 +106,7 @@ SolveResult BrzozowskiMintermSolver::solve(Re R, const SolveOptions &Opts) {
   Result.Status = SolveStatus::Unsat;
   Result.StatesExplored = Visited.size();
   Result.TimeUs = Timer.elapsedUs();
+  Result.Stats.TotalUs = Result.TimeUs;
+  Result.Stats.SearchUs = Result.TimeUs;
   return Result;
 }

@@ -5,6 +5,7 @@
 #include "charset/AlphabetCompressor.h"
 #include "support/Hashing.h"
 #include "support/Metrics.h"
+#include "support/Stopwatch.h"
 
 #include <algorithm>
 
@@ -230,10 +231,14 @@ std::string CharSet::str() const {
 
 std::vector<CharSet> sbd::computeMinterms(const std::vector<CharSet> &Sets) {
   SBD_OBS_INC(MintermComputations);
+#if SBD_OBS
+  Stopwatch MintermTimer;
+#endif
   // One partition sweep implementation for the whole library: build the
   // compressor and read the blocks back out. Classes are ordered by minimum
   // element, so the result is deterministic.
   std::vector<CharSet> Out = AlphabetCompressor(Sets).classSets();
   SBD_OBS_ADD(MintermsProduced, Out.size());
+  SBD_OBS_ADD(MintermTimeUs, MintermTimer.elapsedUs());
   return Out;
 }

@@ -5,6 +5,8 @@
 
 #include "analysis/AuditHooks.h"
 #include "compile/CompiledDfa.h"
+#include "support/Histogram.h"
+#include "support/Stopwatch.h"
 #include "support/Unicode.h"
 
 #include <algorithm>
@@ -225,34 +227,70 @@ bool CachedMatcher::accepted(uint32_t Slot, Re Cur) {
 }
 
 bool CachedMatcher::matches(const std::vector<uint32_t> &Word) {
-  if (maybePromote(Word.size()))
-    return Compiled->matches(Word);
+  // Scan timing lives here (not in CompiledDfa::matches) so the compiled
+  // engine's throughput benchmarks stay clock-free.
+  if (maybePromote(Word.size())) {
+#if SBD_OBS
+    Stopwatch ScanTimer;
+#endif
+    bool Ok = Compiled->matches(Word);
+    SBD_OBS_HIST(CompiledScanUs, ScanTimer.elapsedUs());
+    SBD_OBS_ADD(ScanTimeUs, ScanTimer.elapsedUs());
+    return Ok;
+  }
+#if SBD_OBS
+  Stopwatch ScanTimer;
+#endif
   uint32_t Slot = InitialState;
   Re Cur = States[InitialState].Regex;
   touch(Slot);
+  bool Ok = true;
   for (uint32_t Cp : Word)
-    if (!feed(Slot, Cur, Cp))
-      return false;
-  return accepted(Slot, Cur);
+    if (!feed(Slot, Cur, Cp)) {
+      Ok = false;
+      break;
+    }
+  if (Ok)
+    Ok = accepted(Slot, Cur);
+  SBD_OBS_HIST(LazyScanUs, ScanTimer.elapsedUs());
+  SBD_OBS_ADD(ScanTimeUs, ScanTimer.elapsedUs());
+  return Ok;
 }
 
 bool CachedMatcher::matches(const std::string &Utf8) {
-  if (maybePromote(Utf8.size()))
-    return Compiled->matches(Utf8);
+  if (maybePromote(Utf8.size())) {
+#if SBD_OBS
+    Stopwatch ScanTimer;
+#endif
+    bool Ok = Compiled->matches(Utf8);
+    SBD_OBS_HIST(CompiledScanUs, ScanTimer.elapsedUs());
+    SBD_OBS_ADD(ScanTimeUs, ScanTimer.elapsedUs());
+    return Ok;
+  }
+#if SBD_OBS
+  Stopwatch ScanTimer;
+#endif
   // Streaming decode: no intermediate code-point buffer.
   uint32_t Slot = InitialState;
   Re Cur = States[InitialState].Regex;
   touch(Slot);
+  bool Ok = true;
   for (size_t I = 0; I < Utf8.size();) {
     uint32_t Cp = static_cast<uint8_t>(Utf8[I]);
     if (Cp < 0x80)
       ++I; // ASCII fast path: byte == code point
     else
       Cp = decodeUtf8At(Utf8, I);
-    if (!feed(Slot, Cur, Cp))
-      return false;
+    if (!feed(Slot, Cur, Cp)) {
+      Ok = false;
+      break;
+    }
   }
-  return accepted(Slot, Cur);
+  if (Ok)
+    Ok = accepted(Slot, Cur);
+  SBD_OBS_HIST(LazyScanUs, ScanTimer.elapsedUs());
+  SBD_OBS_ADD(ScanTimeUs, ScanTimer.elapsedUs());
+  return Ok;
 }
 
 size_t CachedMatcher::cachedArcs() const {

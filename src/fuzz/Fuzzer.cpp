@@ -176,6 +176,15 @@ std::string FuzzReport::json() const {
     Out += ", \"calls\": " + std::to_string(Timings[I].Calls) + "}";
   }
   Out += "]";
+  Out += ", \"engine_phases\": [";
+  for (size_t I = 0; I != Engines.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "{\"name\": \"" + jsonEscape(Engines[I].Name) + "\"";
+    Out += ", \"queries\": " + std::to_string(Engines[I].Queries);
+    Out += ", \"stats\": " + Engines[I].Stats.json() + "}";
+  }
+  Out += "]";
   Out += ", \"obs\": " + (ObsJson.empty() ? std::string("{}") : ObsJson);
   Out += "}";
   return Out;
@@ -205,6 +214,7 @@ FuzzReport sbd::fuzz::runFuzz(const FuzzOptions &Opts) {
   // reproducible without replaying batches 0..K-1's arena contents.
   Rng SeedStream(Opts.Seed);
   std::map<std::string, EngineTiming> Merged;
+  std::map<std::string, EnginePhase> MergedPhases;
 
   uint64_t Iter = 0;
   bool Stop = false;
@@ -300,12 +310,20 @@ FuzzReport sbd::fuzz::runFuzz(const FuzzOptions &Opts) {
       Slot.TotalUs += ET.TotalUs;
       Slot.Calls += ET.Calls;
     }
+    for (const EnginePhase &EP : Oracle.phaseStats()) {
+      EnginePhase &Slot = MergedPhases[EP.Name];
+      Slot.Name = EP.Name;
+      Slot.Queries += EP.Queries;
+      Slot.Stats += EP.Stats;
+    }
     Rep.Checks += Oracle.checksRun();
   }
 
   Rep.Iterations = Iter;
   for (auto &KV : Merged)
     Rep.Timings.push_back(KV.second);
+  for (auto &KV : MergedPhases)
+    Rep.Engines.push_back(KV.second);
   Rep.ElapsedUs = Total.elapsedUs();
   Rep.ObsJson =
       obs::MetricsRegistry::global().snapshot().since(ObsBefore).json();

@@ -59,6 +59,8 @@ struct FuzzReport {
   int64_t ElapsedUs = 0;
   std::vector<Discrepancy> Discrepancies; ///< post-shrink
   std::vector<EngineTiming> Timings;      ///< merged across batches
+  /// Per-solver-engine phase breakdowns, merged across batches.
+  std::vector<EnginePhase> Engines;
   /// sbd::obs counter deltas for the run (JSON object; "{}" when the
   /// observability layer is compiled out or nothing was counted).
   std::string ObsJson = "{}";

@@ -94,6 +94,20 @@ std::vector<EngineTiming> DifferentialOracle::timings() const {
   return Out;
 }
 
+std::vector<EnginePhase> DifferentialOracle::phaseStats() const {
+  std::vector<EnginePhase> Out;
+  for (size_t I = 0; I != EngCount; ++I) {
+    if (!EngineQueries[I])
+      continue;
+    EnginePhase P;
+    P.Name = engineName(I);
+    P.Queries = EngineQueries[I];
+    P.Stats = EngineStats[I];
+    Out.push_back(std::move(P));
+  }
+  return Out;
+}
+
 Discrepancy DifferentialOracle::makeDiscrepancy(OracleLaw Law,
                                                 const std::vector<uint32_t> &W,
                                                 const std::string &Engine,
@@ -130,47 +144,52 @@ void DifferentialOracle::checkSatVerdicts(std::vector<Discrepancy> &Out) {
   };
   std::vector<Verdict> All;
 
+  // Records the verdict and folds its SolveStats into the per-engine phase
+  // accumulator feeding phaseStats().
+  auto addVerdict = [&](size_t Id, SolveResult Res) {
+    EngineStats[Id] += Res.Stats;
+    ++EngineQueries[Id];
+    All.push_back({engineName(Id), std::move(Res)});
+  };
+
   SolveOptions Bfs;
   Bfs.MaxStates = Opts.SolverMaxStates;
-  All.push_back({engineName(EngSolverBfs),
-                 timed(EngSolverBfs, [&] {
-                   Solver.resetGraph();
-                   return Solver.checkSat(Cur, Bfs);
-                 })});
+  addVerdict(EngSolverBfs, timed(EngSolverBfs, [&] {
+               Solver.resetGraph();
+               return Solver.checkSat(Cur, Bfs);
+             }));
 
   if (Opts.CheckDfsAgreement) {
     SolveOptions Dfs = Bfs;
     Dfs.Strategy = SearchStrategy::Dfs;
-    All.push_back({engineName(EngSolverDfs),
-                   timed(EngSolverDfs, [&] {
-                     Solver.resetGraph();
-                     return Solver.checkSat(Cur, Dfs);
-                   })});
+    addVerdict(EngSolverDfs, timed(EngSolverDfs, [&] {
+                 Solver.resetGraph();
+                 return Solver.checkSat(Cur, Dfs);
+               }));
   }
 
   if (AntimirovSolver::supports(M, Cur)) {
     SolveOptions BOpts;
     BOpts.MaxStates = Opts.BaselineMaxStates;
     AntimirovSolver AS(M);
-    All.push_back({engineName(EngAntimirov),
-                   timed(EngAntimirov, [&] { return AS.solve(Cur, BOpts); })});
+    addVerdict(EngAntimirov,
+               timed(EngAntimirov, [&] { return AS.solve(Cur, BOpts); }));
   }
 
   if (M.node(Cur).NumPreds <= Opts.BrzMaxPreds) {
     SolveOptions BOpts;
     BOpts.MaxStates = Opts.BaselineMaxStates;
     BrzozowskiMintermSolver BS(Eng);
-    All.push_back({engineName(EngBrzMinterm), timed(EngBrzMinterm, [&] {
-                     return BS.solve(Cur, BOpts);
-                   })});
+    addVerdict(EngBrzMinterm,
+               timed(EngBrzMinterm, [&] { return BS.solve(Cur, BOpts); }));
   }
 
   {
     SolveOptions EOpts;
     EOpts.MaxStates = Opts.EagerMaxStates;
     EagerSolver ES(M);
-    All.push_back({engineName(EngEager),
-                   timed(EngEager, [&] { return ES.solve(Cur, EOpts); })});
+    addVerdict(EngEager,
+               timed(EngEager, [&] { return ES.solve(Cur, EOpts); }));
   }
 
   // Every Sat witness must be accepted by the reference matcher, and all

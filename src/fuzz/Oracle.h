@@ -91,6 +91,14 @@ struct EngineTiming {
   uint64_t Calls = 0;
 };
 
+/// Per-solver-engine phase attribution: the SolveStats of every verdict an
+/// engine produced, summed, for the fuzz report's per-engine phase table.
+struct EnginePhase {
+  std::string Name;
+  uint64_t Queries = 0;
+  SolveStats Stats;
+};
+
 /// Engine caps and toggles. Every budget is a state/size count so oracle
 /// verdicts are reproducible bit-for-bit from a seed.
 struct OracleOptions {
@@ -159,6 +167,10 @@ public:
   /// Accumulated per-engine timing since construction.
   std::vector<EngineTiming> timings() const;
 
+  /// Accumulated per-solver-engine phase breakdowns since construction
+  /// (solver engines only; engines that answered no query are omitted).
+  std::vector<EnginePhase> phaseStats() const;
+
   /// Total individual checks performed since construction.
   uint64_t checksRun() const { return Checks; }
 
@@ -220,6 +232,8 @@ private:
   // Accumulators.
   int64_t EngineUs[EngCount] = {};
   uint64_t EngineCalls[EngCount] = {};
+  SolveStats EngineStats[EngCount];
+  uint64_t EngineQueries[EngCount] = {};
   uint64_t Checks = 0;
 };
 

@@ -2,7 +2,7 @@
 
 #include "policy/Policy.h"
 
-#include "smt/SmtPrinter.h"
+#include "re/SmtPrinter.h"
 #include "support/Unicode.h"
 
 #include <set>

@@ -1,6 +1,6 @@
-//===- smt/SmtPrinter.cpp - Regex → SMT-LIB term rendering -------------------===//
+//===- re/SmtPrinter.cpp - Regex → SMT-LIB term rendering -------------------===//
 
-#include "smt/SmtPrinter.h"
+#include "re/SmtPrinter.h"
 
 #include "support/Debug.h"
 #include "support/Unicode.h"

@@ -1,4 +1,4 @@
-//===- smt/SmtPrinter.h - Regex → SMT-LIB term rendering --------------------===//
+//===- re/SmtPrinter.h - Regex → SMT-LIB term rendering --------------------===//
 ///
 /// \file
 /// Renders interned regexes back into SMT-LIB2 `re.*` terms and whole
@@ -9,8 +9,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef SBD_SMT_SMTPRINTER_H
-#define SBD_SMT_SMTPRINTER_H
+#ifndef SBD_RE_SMTPRINTER_H
+#define SBD_RE_SMTPRINTER_H
 
 #include "re/Regex.h"
 
@@ -41,4 +41,4 @@ std::vector<uint32_t> decodeSmtString(const std::string &Contents);
 
 } // namespace sbd
 
-#endif // SBD_SMT_SMTPRINTER_H
+#endif // SBD_RE_SMTPRINTER_H

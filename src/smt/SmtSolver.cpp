@@ -2,7 +2,9 @@
 
 #include "smt/SmtSolver.h"
 
-#include "smt/SmtPrinter.h"
+#include "re/SmtPrinter.h"
+#include "support/Exposition.h"
+#include "support/Histogram.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 #include "support/Unicode.h"
@@ -153,10 +155,23 @@ private:
            Ull(Reg.get(obs::Counter::CompiledPrefilterSkips));
     Out += "\n :compiled-fallbacks " +
            Ull(Reg.get(obs::Counter::CompiledFallbacks));
+    Out += "\n :minterm-time-us " + std::to_string(St.MintermUs);
     Out += "\n :derive-time-us " + std::to_string(St.DeriveUs);
     Out += "\n :dnf-time-us " + std::to_string(St.DnfUs);
+    Out += "\n :cache-probe-time-us " + std::to_string(St.CacheProbeUs);
+    Out += "\n :scan-time-us " + std::to_string(St.ScanUs);
     Out += "\n :search-time-us " + std::to_string(St.SearchUs);
     Out += "\n :solve-time-us " + std::to_string(St.TotalUs);
+    // Latency distribution over every regex sub-query solved so far, from
+    // the process-wide histogram registry (cumulative, like the compiled
+    // counters above; all-zero at -DSBD_OBS=0).
+    obs::HistShard Hists = obs::HistogramRegistry::global().snapshot();
+    const obs::HistShard::Data &Lat =
+        Hists.H[static_cast<size_t>(obs::Hist::SolveLatencyUs)];
+    Out += "\n :solve-latency-count " + Ull(Lat.Count);
+    Out += "\n :solve-latency-p50-us " + Ull(obs::histPercentile(Lat, 50));
+    Out += "\n :solve-latency-p90-us " + Ull(obs::histPercentile(Lat, 90));
+    Out += "\n :solve-latency-p99-us " + Ull(obs::histPercentile(Lat, 99));
     Out += ")";
     return Out;
   }
@@ -730,5 +745,7 @@ SmtResult SmtSolver::solveScript(const std::string &Script,
   class Script Ctx(Solver, Opts);
   SmtResult R = Ctx.run(Script);
   Span.arg("status", std::string(statusName(R.Status)));
+  // Safe point for SIGUSR1-driven exposition dumps between scripts.
+  obs::pollExposition();
   return R;
 }

@@ -4,6 +4,7 @@
 
 #include "re/RegexParser.h"
 #include "solver/RegexSolver.h"
+#include "support/Exposition.h"
 #include "support/Stopwatch.h"
 #include "support/Trace.h"
 
@@ -69,10 +70,21 @@ BatchResult solveOne(WorkerStack &W, const BatchQuery &Q, bool LongLived) {
   // verdicts and witnesses are unchanged on the (only observed) passing
   // path, and a divergence is downgraded to Unknown rather than shipping
   // an invalid witness.
-  if (Out.Result.isSat() &&
-      !W.S.matchesWord(Parsed.Value, Out.Result.Witness)) {
-    Out.Result.Status = SolveStatus::Unknown;
-    Out.Result.Note = "witness failed compiled-matcher validation";
+  if (Out.Result.isSat()) {
+#if SBD_OBS
+    const obs::MetricShard ScanBefore = obs::tlsShard();
+#endif
+    bool Valid = W.S.matchesWord(Parsed.Value, Out.Result.Witness);
+#if SBD_OBS
+    // Validation scans run after checkSat returned, so attribute them to
+    // the query here (same thread-local-shard diff the solver uses).
+    Out.Result.Stats.ScanUs += static_cast<int64_t>(
+        obs::tlsShard().since(ScanBefore).get(obs::Counter::ScanTimeUs));
+#endif
+    if (!Valid) {
+      Out.Result.Status = SolveStatus::Unknown;
+      Out.Result.Note = "witness failed compiled-matcher validation";
+    }
   }
   Out.Result.Stats.ParseUs = ParseUs;
   Out.Result.Stats.TotalUs += ParseUs;
@@ -82,10 +94,36 @@ BatchResult solveOne(WorkerStack &W, const BatchQuery &Q, bool LongLived) {
 
 } // namespace
 
+namespace {
+
+/// Buckets every result's SolveStats by the engine that produced it.
+std::vector<EnginePhaseRow>
+bucketByEngine(const std::vector<BatchResult> &Results) {
+  constexpr size_t NumEngines = 5; // SolveEngine enumerator count
+  EnginePhaseRow Rows[NumEngines];
+  for (size_t I = 0; I != NumEngines; ++I)
+    Rows[I].Engine = static_cast<SolveEngine>(I);
+  for (const BatchResult &R : Results) {
+    if (!R.ParseOk)
+      continue;
+    EnginePhaseRow &Row = Rows[static_cast<size_t>(R.Result.Stats.Engine)];
+    ++Row.Queries;
+    Row.Stats += R.Result.Stats;
+  }
+  std::vector<EnginePhaseRow> Out;
+  for (size_t I = 0; I != NumEngines; ++I)
+    if (Rows[I].Queries)
+      Out.push_back(Rows[I]);
+  return Out;
+}
+
+} // namespace
+
 std::vector<BatchResult>
 BatchSolver::solveAll(const std::vector<BatchQuery> &Queries) {
   std::vector<BatchResult> Results(Queries.size());
   Stats.reset();
+  Phases.clear();
 
   // The work loop every worker runs: claim the next unprocessed query index
   // and solve it on this worker's stack. Results are written to disjoint
@@ -109,6 +147,9 @@ BatchSolver::solveAll(const std::vector<BatchQuery> &Queries) {
       }
       Results[I] = solveOne(*W, Queries[I], Opts.ReuseArenas);
       Dirty = true;
+      // Safe point for SIGUSR1-driven exposition dumps (one relaxed load
+      // when no dump is pending).
+      obs::pollExposition();
     }
     Local += W->stats();
     std::lock_guard<std::mutex> Lock(StatsMutex);
@@ -118,6 +159,7 @@ BatchSolver::solveAll(const std::vector<BatchQuery> &Queries) {
   unsigned Threads = Opts.NumThreads;
   if (Threads <= 1 || Queries.size() <= 1) {
     workLoop();
+    Phases = bucketByEngine(Results);
     return Results;
   }
   if (Threads > Queries.size())
@@ -129,5 +171,6 @@ BatchSolver::solveAll(const std::vector<BatchQuery> &Queries) {
     Pool.emplace_back(workLoop);
   for (std::thread &Th : Pool)
     Th.join();
+  Phases = bucketByEngine(Results);
   return Results;
 }

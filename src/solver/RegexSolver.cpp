@@ -3,6 +3,9 @@
 #include "solver/RegexSolver.h"
 
 #include "analysis/AuditHooks.h"
+#include "re/SmtPrinter.h"
+#include "solver/SlowQueryLog.h"
+#include "support/Histogram.h"
 #include "support/Stopwatch.h"
 #include "support/Trace.h"
 
@@ -26,6 +29,9 @@ struct Reached {
 SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
   Stopwatch Timer;
   SolveResult Result;
+  Result.Stats.Engine = Opts.Strategy == SearchStrategy::Dfs
+                            ? SolveEngine::DerivDfs
+                            : SolveEngine::DerivBfs;
   obs::ScopedSpan Span("checkSat", "solver");
 
   // Per-query attribution: queries never migrate threads, so the diff of
@@ -42,6 +48,12 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
   size_t Steps = 0;
   uint64_t TimeoutChecks = 0;
   size_t PeakFrontier = 0;
+#if SBD_OBS
+  // Frontier tracing feeds the slow-query explain artifact; it only runs
+  // when a capture trigger is armed (one relaxed load per query).
+  const bool SlowArmed = obs::SlowQueryLog::global().armed();
+  obs::FrontierTrace Frontier;
+#endif
 
   /// Fills Result.Stats/TimeUs; every return path goes through here.
   auto finalize = [&] {
@@ -75,9 +87,15 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
     St.ArcsEnumerated = Diff.get(obs::Counter::ArcsEnumerated);
     St.MintermComputations = Diff.get(obs::Counter::MintermComputations);
     St.MintermsProduced = Diff.get(obs::Counter::MintermsProduced);
+    St.MintermUs = static_cast<int64_t>(Diff.get(obs::Counter::MintermTimeUs));
     St.DeriveUs = static_cast<int64_t>(Diff.get(obs::Counter::DeriveTimeUs));
     St.DnfUs = static_cast<int64_t>(Diff.get(obs::Counter::DnfTimeUs));
-    int64_t Attributed = St.DeriveUs + St.DnfUs;
+    St.CacheProbeUs =
+        static_cast<int64_t>(Diff.get(obs::Counter::CacheProbeTimeUs));
+    St.ScanUs = static_cast<int64_t>(Diff.get(obs::Counter::ScanTimeUs));
+    // MintermUs is informational only: computeMinterms runs *inside* the
+    // derive/DNF regions, so it is excluded from the residual.
+    int64_t Attributed = St.DeriveUs + St.DnfUs + St.CacheProbeUs;
     St.SearchUs = St.TotalUs > Attributed ? St.TotalUs - Attributed : 0;
     // Fold this query's contribution into the process-wide registry under
     // the unified counter names.
@@ -88,6 +106,30 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
     Shard.add(obs::Counter::QueriesSolved, 1);
     Shard.add(obs::Counter::SolveTimeUs, static_cast<uint64_t>(St.TotalUs));
     Shard.add(obs::Counter::SearchTimeUs, static_cast<uint64_t>(St.SearchUs));
+    SBD_OBS_HIST(SolveLatencyUs, St.TotalUs);
+    SBD_OBS_HIST(SolveArenaNodes, St.ArenaNodes);
+    if (obs::SlowQueryLog::global().shouldCapture(St.TotalUs, St.ArenaNodes)) {
+      obs::SlowQueryArtifact A;
+      A.Pattern = regexToSmtTerm(M, R);
+      std::optional<bool> Expected;
+      if (Result.Status == SolveStatus::Sat)
+        Expected = true;
+      else if (Result.Status == SolveStatus::Unsat)
+        Expected = false;
+      A.Script = regexToSmtScript(M, R, Expected);
+      A.Strategy = Opts.Strategy == SearchStrategy::Dfs ? "dfs" : "bfs";
+      A.TimeoutMs = Opts.TimeoutMs;
+      A.MaxStates = Opts.MaxStates;
+      A.Status = statusName(Result.Status);
+      A.StopReason = stopReasonName(Result.Stop);
+      A.TotalUs = St.TotalUs;
+      A.States = Result.StatesExplored;
+      A.FrontierStride = Frontier.Stride;
+      A.Frontier = Frontier.Samples;
+      A.TopCounters = obs::topCounterDeltas(Diff);
+      A.StatsJson = St.json();
+      obs::SlowQueryLog::global().capture(std::move(A));
+    }
 #endif
     Span.arg("status", std::string(statusName(Result.Status)));
     Span.arg("states", static_cast<uint64_t>(Result.StatesExplored));
@@ -167,6 +209,10 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
   while (!Queue.empty()) {
     if (Queue.size() > PeakFrontier)
       PeakFrontier = Queue.size();
+#if SBD_OBS
+    if (SlowArmed)
+      Frontier.push(Queue.size());
+#endif
     // Budget checks (time checked adaptively to keep it off the hot path).
     if (Opts.MaxStates && Visited.size() > Opts.MaxStates) {
       Result.Status = SolveStatus::Unknown;
@@ -197,6 +243,9 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
     // preserved), and witnesses stay valid because guards are interned.
     if (const std::vector<uint32_t> *Row = Graph.arcRow(Cur)) {
       SBD_OBS_INC(DenseRowHits);
+#if SBD_OBS
+      Stopwatch ProbeTimer;
+#endif
       SBD_AUDIT_DENSE_ROW(T, Engine.derivativeDnf(Cur), *Row, Cur.Id);
       for (size_t I = 0; I < Row->size(); I += 2) {
         uint32_t Ch = (*Row)[I];
@@ -204,18 +253,22 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
         if (Visited.count(Next.Id))
           continue;
         Visited.emplace(Next.Id, Reached{Cur, Ch, Depth + 1});
-        if (M.nullable(Next))
+        if (M.nullable(Next)) {
+          SBD_OBS_ADD(CacheProbeTimeUs, ProbeTimer.elapsedUs());
           return finishSat(Next);
+        }
         if (Graph.isDead(Next))
           continue; // bot rule
         Queue.push_back(Next);
       }
+      SBD_OBS_ADD(CacheProbeTimeUs, ProbeTimer.elapsedUs());
       continue;
     }
 
     // der rule, |s| > 0 case: unfold δdnf(Cur) and upd the graph.
     Tr Dnf = Engine.derivativeDnf(Cur);
     std::vector<TrArc> Arcs = T.arcs(Dnf);
+    SBD_OBS_HIST(DnfExpansionArcs, Arcs.size());
     if (Arcs.size() >= BigExpansion && timeExpired()) {
       Result.Status = SolveStatus::Unknown;
       Result.Stop = StopReason::Timeout;

@@ -1,0 +1,143 @@
+//===- solver/SlowQueryLog.h - Slow-query explain capture (sbd::obs) --------===//
+///
+/// \file
+/// The diagnostics half of the profiling layer: when a query exceeds a
+/// latency or arena-node threshold, RegexSolver captures a *replayable
+/// explain artifact* — the pattern in canonical SMT-LIB form, a full
+/// `.smt2` replay script, the solve options, a frontier-size-per-step
+/// trace, the top-k counter deltas of the query, and the verdict — into a
+/// bounded in-memory ring (drop-oldest) and, when configured with a path,
+/// an append-only JSONL file. `tools/sbd-explain` replays an artifact and
+/// prints where the exploration's time and nodes concentrated.
+///
+/// The armed() check is one relaxed atomic load, and capture sites in the
+/// solver compile out entirely at `-DSBD_OBS=0`; the log object itself
+/// stays available (always empty) so front ends need no guards.
+/// See DESIGN.md §13 for the artifact schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SOLVER_SLOWQUERYLOG_H
+#define SBD_SOLVER_SLOWQUERYLOG_H
+
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sbd {
+namespace obs {
+
+/// Capture policy. A query is captured when it trips *either* enabled
+/// threshold; with both disabled the log is disarmed and the solver's
+/// per-step frontier tracing is skipped entirely.
+struct SlowQueryOptions {
+  /// Capture queries slower than this; < 0 disables the latency trigger.
+  int64_t LatencyThresholdUs = -1;
+  /// Capture queries allocating more arena nodes than this; 0 disables.
+  uint64_t NodeThreshold = 0;
+  /// In-memory ring capacity (drop-oldest past this).
+  size_t Capacity = 64;
+  /// When nonempty, every capture is also appended to this JSONL file.
+  std::string Path;
+};
+
+/// Frontier-size-per-step trace with a bounded sample count: records every
+/// Stride-th step and, at the cap, decimates (keeps every other sample,
+/// doubles the stride) so arbitrarily long searches produce a fixed-size
+/// curve whose x-axis is `sample_index * Stride` steps.
+struct FrontierTrace {
+  static constexpr size_t MaxSamples = 1024;
+
+  std::vector<uint64_t> Samples;
+  uint64_t Stride = 1;
+  uint64_t Tick = 0;
+
+  void push(uint64_t FrontierSize) {
+    if (Tick++ % Stride)
+      return;
+    Samples.push_back(FrontierSize);
+    if (Samples.size() >= MaxSamples) {
+      size_t J = 0;
+      for (size_t I = 0; I < Samples.size(); I += 2)
+        Samples[J++] = Samples[I];
+      Samples.resize(J);
+      Stride *= 2;
+    }
+  }
+};
+
+/// One captured slow query. json() renders the stable schema sbd-explain
+/// consumes (all keys always present).
+struct SlowQueryArtifact {
+  std::string Pattern;  ///< regex as a canonical SMT-LIB `re.*` term
+  std::string Script;   ///< full replayable `.smt2` script
+  std::string Strategy; ///< "bfs" or "dfs"
+  int64_t TimeoutMs = 0;
+  uint64_t MaxStates = 0;
+  std::string Status;     ///< statusName() of the verdict
+  std::string StopReason; ///< stopReasonName() of the verdict
+  int64_t TotalUs = 0;
+  uint64_t States = 0; ///< distinct regex states visited
+  uint64_t FrontierStride = 1;
+  std::vector<uint64_t> Frontier; ///< frontier size every FrontierStride steps
+  /// Largest per-query counter deltas, name → value, descending.
+  std::vector<std::pair<std::string, uint64_t>> TopCounters;
+  std::string StatsJson; ///< SolveStats::json() of the query
+
+  /// One-line JSON object (the JSONL record format).
+  std::string json() const;
+};
+
+/// Process-wide bounded ring of slow-query artifacts. Singleton,
+/// intentionally leaked like the metric registries.
+class SlowQueryLog {
+public:
+  static SlowQueryLog &global();
+
+  /// Install a capture policy (also clears nothing — captured artifacts
+  /// stay until drain()).
+  void configure(const SlowQueryOptions &O);
+  SlowQueryOptions options() const;
+
+  /// Hot-path check: is any capture trigger enabled?
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// Does a finished query with this latency/allocation trip a trigger?
+  bool shouldCapture(int64_t TotalUs, uint64_t ArenaNodes) const;
+
+  /// Pushes an artifact into the ring (dropping the oldest past capacity,
+  /// counted as `slow_queries_dropped`) and appends it to the configured
+  /// JSONL path. Bumps `slow_queries_captured`.
+  void capture(SlowQueryArtifact A);
+
+  /// Returns and clears the ring's contents, oldest first.
+  std::vector<SlowQueryArtifact> drain();
+
+  /// Number of artifacts currently in the ring.
+  size_t size() const;
+
+private:
+  SlowQueryLog() = default;
+  SlowQueryLog(const SlowQueryLog &) = delete;
+
+  std::atomic<bool> Armed{false};
+
+  struct Impl;
+  static Impl &impl();
+};
+
+/// The \p K largest nonzero counter deltas in \p Diff, descending — the
+/// "where did the work go" summary attached to each artifact. Time-class
+/// counters (`*_time_us`) are excluded: the phase breakdown already covers
+/// them and they would otherwise dominate every list.
+std::vector<std::pair<std::string, uint64_t>>
+topCounterDeltas(const MetricShard &Diff, size_t K = 8);
+
+} // namespace obs
+} // namespace sbd
+
+#endif // SBD_SOLVER_SLOWQUERYLOG_H

@@ -69,6 +69,34 @@ enum class SearchStrategy : uint8_t {
        ///< fast on satisfiable instances with deep models
 };
 
+/// Which engine produced a result. Mostly interesting to the differential
+/// harnesses (BatchSolver, the fuzz oracle), which aggregate per-engine
+/// phase tables from it.
+enum class SolveEngine : uint8_t {
+  DerivBfs,   ///< symbolic-derivative solver, breadth-first
+  DerivDfs,   ///< symbolic-derivative solver, depth-first
+  Antimirov,  ///< Antimirov partial-derivative NFA baseline
+  BrzMinterm, ///< Brzozowski + explicit minterm baseline
+  Eager,      ///< eager product-automaton solver
+};
+
+/// Human-readable engine name (stable, snake_case).
+inline const char *solveEngineName(SolveEngine E) {
+  switch (E) {
+  case SolveEngine::DerivBfs:
+    return "deriv_bfs";
+  case SolveEngine::DerivDfs:
+    return "deriv_dfs";
+  case SolveEngine::Antimirov:
+    return "antimirov";
+  case SolveEngine::BrzMinterm:
+    return "brz_minterm";
+  case SolveEngine::Eager:
+    return "eager";
+  }
+  return "?";
+}
+
 /// Resource budget for one query.
 struct SolveOptions {
   /// Wall-clock budget in milliseconds; <= 0 means unlimited.
@@ -113,10 +141,16 @@ struct SolveStats {
   uint64_t SolverSteps = 0;         ///< states dequeued by the search loop
   uint64_t TimeoutChecks = 0;       ///< deadline clock reads
   int64_t ParseUs = 0;              ///< pattern/script parse time
+  int64_t MintermUs = 0;            ///< time inside computeMinterms(); may
+                                    ///< overlap DeriveUs/DnfUs regions
   int64_t DeriveUs = 0;             ///< time inside δ computation
   int64_t DnfUs = 0;                ///< time inside the DNF transformation
-  int64_t SearchUs = 0;             ///< search-loop time minus derive/DNF
+  int64_t CacheProbeUs = 0;         ///< dense-row replay (cache probe) time
+  int64_t ScanUs = 0;               ///< lazy/compiled DFA scan time
+  int64_t SearchUs = 0;             ///< search-loop time minus the above
   int64_t TotalUs = 0;              ///< wall-clock for the whole query
+  /// Engine attribution for per-engine phase tables.
+  SolveEngine Engine = SolveEngine::DerivBfs;
 
   SolveStats &operator+=(const SolveStats &O) {
     DerivativeCalls += O.DerivativeCalls;
@@ -136,20 +170,26 @@ struct SolveStats {
     SolverSteps += O.SolverSteps;
     TimeoutChecks += O.TimeoutChecks;
     ParseUs += O.ParseUs;
+    MintermUs += O.MintermUs;
     DeriveUs += O.DeriveUs;
     DnfUs += O.DnfUs;
+    CacheProbeUs += O.CacheProbeUs;
+    ScanUs += O.ScanUs;
     SearchUs += O.SearchUs;
     TotalUs += O.TotalUs;
+    // Aggregates keep the first-seen engine; callers that mix engines
+    // should bucket by Engine before summing (BatchSolver does).
     return *this;
   }
 
   /// Flat JSON object with stable snake_case keys (used by --stats-json
   /// and `(get-info :statistics)`).
   std::string json() const {
-    char Buf[1024];
+    char Buf[1536];
     std::snprintf(
         Buf, sizeof(Buf),
-        "{\"derivative_calls\": %llu, \"dnf_calls\": %llu, "
+        "{\"engine\": \"%s\", "
+        "\"derivative_calls\": %llu, \"dnf_calls\": %llu, "
         "\"brzozowski_calls\": %llu, \"dnf_branches_explored\": %llu, "
         "\"dnf_branches_pruned\": %llu, \"arcs_enumerated\": %llu, "
         "\"minterm_computations\": %llu, \"minterms_produced\": %llu, "
@@ -157,8 +197,11 @@ struct SolveStats {
         "\"memo_hits\": %llu, \"memo_misses\": %llu, "
         "\"arena_nodes\": %llu, \"peak_frontier\": %llu, "
         "\"solver_steps\": %llu, \"timeout_checks\": %llu, "
-        "\"parse_us\": %lld, \"derive_us\": %lld, \"dnf_us\": %lld, "
+        "\"parse_us\": %lld, \"minterm_us\": %lld, "
+        "\"derive_us\": %lld, \"dnf_us\": %lld, "
+        "\"cache_probe_us\": %lld, \"scan_us\": %lld, "
         "\"search_us\": %lld, \"total_us\": %lld}",
+        solveEngineName(Engine),
         static_cast<unsigned long long>(DerivativeCalls),
         static_cast<unsigned long long>(DnfCalls),
         static_cast<unsigned long long>(BrzozowskiCalls),
@@ -175,9 +218,10 @@ struct SolveStats {
         static_cast<unsigned long long>(PeakFrontier),
         static_cast<unsigned long long>(SolverSteps),
         static_cast<unsigned long long>(TimeoutChecks),
-        static_cast<long long>(ParseUs), static_cast<long long>(DeriveUs),
-        static_cast<long long>(DnfUs), static_cast<long long>(SearchUs),
-        static_cast<long long>(TotalUs));
+        static_cast<long long>(ParseUs), static_cast<long long>(MintermUs),
+        static_cast<long long>(DeriveUs), static_cast<long long>(DnfUs),
+        static_cast<long long>(CacheProbeUs), static_cast<long long>(ScanUs),
+        static_cast<long long>(SearchUs), static_cast<long long>(TotalUs));
     return Buf;
   }
 };

@@ -1,0 +1,140 @@
+//===- support/Exposition.cpp - Metrics exposition writer (sbd::obs) --------===//
+
+#include "support/Exposition.h"
+
+#include "support/Histogram.h"
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+
+using namespace sbd;
+using namespace sbd::obs;
+
+namespace {
+
+/// Prometheus metric names must be [a-zA-Z0-9_:]; the registry names are
+/// already snake_case, so prefixing is enough.
+void appendMetricName(std::string &Out, const char *Name) {
+  Out += "sbd_";
+  Out += Name;
+}
+
+std::atomic<bool> DumpRequested{false};
+
+/// Guarded by ExpoMu: where an armed SIGUSR1 dump writes to.
+std::mutex ExpoMu;
+std::string ArmedPath;
+
+extern "C" void sbdExpositionSignalHandler(int) {
+  // Async-signal-safe: only flips the flag; pollExposition() does the I/O.
+  DumpRequested.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::string sbd::obs::prometheusText() {
+  MetricShard Counters = MetricsRegistry::global().snapshot();
+  HistShard Hists = HistogramRegistry::global().snapshot();
+  std::string Out;
+  Out.reserve(4096);
+  for (size_t I = 0; I != NumCounters; ++I) {
+    const char *Name = counterName(static_cast<Counter>(I));
+    Out += "# TYPE ";
+    appendMetricName(Out, Name);
+    Out += " counter\n";
+    appendMetricName(Out, Name);
+    Out += ' ';
+    Out += std::to_string(Counters.C[I]);
+    Out += '\n';
+  }
+  for (size_t I = 0; I != NumHistograms; ++I) {
+    const char *Name = histName(static_cast<Hist>(I));
+    const HistShard::Data &D = Hists.H[I];
+    Out += "# TYPE ";
+    appendMetricName(Out, Name);
+    Out += " histogram\n";
+    // Cumulative le buckets over the sparse nonzero log2 buckets, then the
+    // canonical +Inf / _sum / _count triple.
+    uint64_t Cumulative = 0;
+    for (uint32_t B = 0; B != NumHistBuckets; ++B) {
+      if (!D.Buckets[B])
+        continue;
+      Cumulative += D.Buckets[B];
+      appendMetricName(Out, Name);
+      Out += "_bucket{le=\"";
+      Out += std::to_string(histBucketUpperBound(B));
+      Out += "\"} ";
+      Out += std::to_string(Cumulative);
+      Out += '\n';
+    }
+    appendMetricName(Out, Name);
+    Out += "_bucket{le=\"+Inf\"} ";
+    Out += std::to_string(D.Count);
+    Out += '\n';
+    appendMetricName(Out, Name);
+    Out += "_sum ";
+    Out += std::to_string(D.Sum);
+    Out += '\n';
+    appendMetricName(Out, Name);
+    Out += "_count ";
+    Out += std::to_string(D.Count);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string sbd::obs::snapshotJson() {
+  std::string Out = "{\"counters\": ";
+  Out += MetricsRegistry::global().snapshot().json();
+  Out += ", \"histograms\": ";
+  Out += HistogramRegistry::global().snapshot().json();
+  Out += '}';
+  return Out;
+}
+
+bool sbd::obs::writePrometheus(const std::string &Path) {
+  std::string Doc = prometheusText();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Doc.data(), 1, Doc.size(), F);
+  std::fclose(F);
+  return Written == Doc.size();
+}
+
+bool sbd::obs::appendSnapshotJsonl(const std::string &Path) {
+  std::string Line = snapshotJson();
+  Line += '\n';
+  std::FILE *F = std::fopen(Path.c_str(), "a");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Line.data(), 1, Line.size(), F);
+  std::fclose(F);
+  return Written == Line.size();
+}
+
+void sbd::obs::armSignalExposition(const std::string &PromPath) {
+  {
+    std::lock_guard<std::mutex> Lock(ExpoMu);
+    ArmedPath = PromPath;
+  }
+  if (!PromPath.empty())
+    std::signal(SIGUSR1, sbdExpositionSignalHandler);
+}
+
+void sbd::obs::requestExpositionDump() {
+  DumpRequested.store(true, std::memory_order_relaxed);
+}
+
+bool sbd::obs::pollExposition() {
+  if (!DumpRequested.load(std::memory_order_relaxed))
+    return false;
+  DumpRequested.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(ExpoMu);
+  if (ArmedPath.empty())
+    return false;
+  return writePrometheus(ArmedPath);
+}

@@ -1,0 +1,59 @@
+//===- support/Exposition.h - Metrics exposition writer (sbd::obs) ----------===//
+///
+/// \file
+/// The scrape surface of the observability subsystem: renders the merged
+/// counter registry (support/Metrics.h) and histogram registry
+/// (support/Histogram.h) as
+///
+///  - Prometheus text exposition format (`sbd_<counter>` counters and
+///    `sbd_<hist>_bucket{le="..."}` / `_sum` / `_count` histogram series),
+///    the format a future resident solver service exposes on /metrics; and
+///  - one-line JSONL snapshots (`{"counters": {...}, "histograms": {...}}`)
+///    for appending periodic samples to a log.
+///
+/// Long-running front ends (BatchSolver, the bench harnesses via
+/// BenchArgs) can arm a SIGUSR1-driven dump: the signal handler only sets
+/// an atomic flag, and pollExposition() — called from safe points like the
+/// batch work loop — performs the actual write. Safe in `-DSBD_OBS=0`
+/// builds: the registries then hold only zeros. See DESIGN.md §13.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_SUPPORT_EXPOSITION_H
+#define SBD_SUPPORT_EXPOSITION_H
+
+#include <string>
+
+namespace sbd {
+namespace obs {
+
+/// Prometheus text exposition of both registries' merged snapshots.
+std::string prometheusText();
+
+/// One-line JSON snapshot of both registries (no trailing newline).
+std::string snapshotJson();
+
+/// Writes prometheusText() to \p Path (truncating); false on I/O error.
+bool writePrometheus(const std::string &Path);
+
+/// Appends snapshotJson() plus a newline to \p Path; false on I/O error.
+bool appendSnapshotJsonl(const std::string &Path);
+
+/// Arms dump-on-signal: installs a SIGUSR1 handler that sets a flag, and
+/// remembers \p PromPath as the dump target. Pass an empty path to disarm
+/// (the handler stays installed but polls become no-ops).
+void armSignalExposition(const std::string &PromPath);
+
+/// Safe-point hook: when a SIGUSR1 arrived since the last poll, writes the
+/// armed exposition file and returns true. One relaxed atomic load when no
+/// signal is pending, so work loops can call it per item.
+bool pollExposition();
+
+/// Requests a dump as if SIGUSR1 had been received (tests, and callers
+/// that want an interval dump: request + poll).
+void requestExpositionDump();
+
+} // namespace obs
+} // namespace sbd
+
+#endif // SBD_SUPPORT_EXPOSITION_H

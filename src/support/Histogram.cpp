@@ -1,0 +1,171 @@
+//===- support/Histogram.cpp - Log2-bucketed histogram registry (sbd::obs) --===//
+
+#include "support/Histogram.h"
+
+#include <mutex>
+#include <vector>
+
+using namespace sbd;
+using namespace sbd::obs;
+
+const char *sbd::obs::histName(Hist H) {
+  switch (H) {
+  case Hist::SolveLatencyUs:
+    return "solve_latency_us";
+  case Hist::SolveArenaNodes:
+    return "solve_arena_nodes";
+  case Hist::DnfExpansionArcs:
+    return "dnf_expansion_arcs";
+  case Hist::LazyScanUs:
+    return "lazy_scan_us";
+  case Hist::CompiledScanUs:
+    return "compiled_scan_us";
+  case Hist::NumHistograms:
+    break;
+  }
+  return "?";
+}
+
+uint64_t sbd::obs::histPercentile(const HistShard::Data &D, unsigned Pct) {
+  if (D.Count == 0)
+    return 0;
+  // ceil(Pct/100 * Count), computed in integers so every reader agrees.
+  uint64_t Target = (D.Count * Pct + 99) / 100;
+  if (Target == 0)
+    Target = 1;
+  uint64_t Seen = 0;
+  for (uint32_t B = 0; B != NumHistBuckets; ++B) {
+    Seen += D.Buckets[B];
+    if (Seen >= Target) {
+      // Tighten the top bucket's bound to the observed maximum so p99 of a
+      // narrow distribution never reads as a power-of-two overshoot.
+      uint64_t Upper = histBucketUpperBound(B);
+      return Upper < D.Max ? Upper : D.Max;
+    }
+  }
+  return D.Max;
+}
+
+std::string HistShard::json() const {
+  std::string Out = "{";
+  for (size_t I = 0; I != NumHistograms; ++I) {
+    const Data &D = H[I];
+    if (I)
+      Out += ", ";
+    Out += '"';
+    Out += histName(static_cast<Hist>(I));
+    Out += "\": {\"count\": ";
+    Out += std::to_string(D.Count);
+    Out += ", \"sum\": ";
+    Out += std::to_string(D.Sum);
+    Out += ", \"min\": ";
+    Out += std::to_string(D.Count ? D.Min : 0);
+    Out += ", \"max\": ";
+    Out += std::to_string(D.Max);
+    Out += ", \"p50\": ";
+    Out += std::to_string(histPercentile(D, 50));
+    Out += ", \"p90\": ";
+    Out += std::to_string(histPercentile(D, 90));
+    Out += ", \"p99\": ";
+    Out += std::to_string(histPercentile(D, 99));
+    Out += ", \"buckets\": [";
+    bool First = true;
+    for (uint32_t B = 0; B != NumHistBuckets; ++B) {
+      if (!D.Buckets[B])
+        continue;
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += '[';
+      Out += std::to_string(histBucketUpperBound(B));
+      Out += ", ";
+      Out += std::to_string(D.Buckets[B]);
+      Out += ']';
+    }
+    Out += "]}";
+  }
+  Out += '}';
+  return Out;
+}
+
+/// Registry internals: a mutex-guarded list of live per-thread shards plus
+/// the folded distributions of threads that have exited — the exact shape
+/// of MetricsRegistry::Impl (support/Metrics.cpp).
+struct HistogramRegistry::Impl {
+  std::mutex Mu;
+  std::vector<HistShard *> Live;
+  HistShard Retired;
+};
+
+HistogramRegistry::Impl &HistogramRegistry::impl() {
+  // One leaked instance per process: thread-exit hooks may run after main()
+  // returns, so the registry must never be destroyed.
+  static Impl *I = new Impl();
+  return *I;
+}
+
+HistogramRegistry &HistogramRegistry::global() {
+  static HistogramRegistry *R = new HistogramRegistry();
+  return *R;
+}
+
+constinit thread_local HistShard *sbd::obs::detail::TlsHistShard = nullptr;
+
+namespace {
+
+/// Dumping ground for records that happen while (or after) a thread's
+/// shard holder is torn down; contents are dropped (see Metrics.cpp).
+thread_local HistShard HistExitSink;
+
+/// Registers this thread's shard on first use; folds it into the retired
+/// sum on thread exit.
+struct HistShardHolder {
+  HistShard Shard;
+  std::mutex *Mu;
+  std::vector<HistShard *> *Live;
+  HistShard *Retired;
+
+  HistShardHolder(std::mutex &M, std::vector<HistShard *> &L, HistShard &R)
+      : Mu(&M), Live(&L), Retired(&R) {
+    std::lock_guard<std::mutex> Lock(*Mu);
+    Live->push_back(&Shard);
+  }
+
+  ~HistShardHolder() {
+    detail::TlsHistShard = &HistExitSink;
+    std::lock_guard<std::mutex> Lock(*Mu);
+    *Retired += Shard;
+    for (auto It = Live->begin(); It != Live->end(); ++It) {
+      if (*It == &Shard) {
+        Live->erase(It);
+        break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+HistShard &sbd::obs::detail::registerThreadHistShard() {
+  HistogramRegistry::Impl &I = HistogramRegistry::impl();
+  thread_local HistShardHolder Holder(I.Mu, I.Live, I.Retired);
+  TlsHistShard = &Holder.Shard;
+  return Holder.Shard;
+}
+
+HistShard HistogramRegistry::snapshot() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  HistShard Out = I.Retired;
+  for (const HistShard *S : I.Live)
+    Out += *S;
+  return Out;
+}
+
+void HistogramRegistry::reset() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  I.Retired.reset();
+  for (HistShard *S : I.Live)
+    S->reset();
+}

@@ -72,12 +72,24 @@ const char *sbd::obs::counterName(Counter C) {
     return "fuzz_discrepancies";
   case Counter::FuzzShrinkSteps:
     return "fuzz_shrink_steps";
+  case Counter::TraceEventsDropped:
+    return "trace_events_dropped";
+  case Counter::SlowQueriesCaptured:
+    return "slow_queries_captured";
+  case Counter::SlowQueriesDropped:
+    return "slow_queries_dropped";
   case Counter::ParseTimeUs:
     return "parse_time_us";
+  case Counter::MintermTimeUs:
+    return "minterm_time_us";
   case Counter::DeriveTimeUs:
     return "derive_time_us";
   case Counter::DnfTimeUs:
     return "dnf_time_us";
+  case Counter::CacheProbeTimeUs:
+    return "cache_probe_time_us";
+  case Counter::ScanTimeUs:
+    return "scan_time_us";
   case Counter::SearchTimeUs:
     return "search_time_us";
   case Counter::SolveTimeUs:

@@ -101,10 +101,18 @@ enum class Counter : uint32_t {
   FuzzChecks,          ///< individual cross-engine/metamorphic checks run
   FuzzDiscrepancies,   ///< disagreements the oracle detected
   FuzzShrinkSteps,     ///< accepted shrinker reductions
+  // Profiling layer (support/Histogram.h, support/Trace.h drop policy,
+  // solver/SlowQueryLog.h).
+  TraceEventsDropped,  ///< span events dropped by the per-thread buffer cap
+  SlowQueriesCaptured, ///< explain artifacts captured by the slow-query log
+  SlowQueriesDropped,  ///< artifacts evicted from the bounded capture ring
   // Phase timings, microseconds (counters so they shard/merge like the rest).
   ParseTimeUs,
+  MintermTimeUs,
   DeriveTimeUs,
   DnfTimeUs,
+  CacheProbeTimeUs,
+  ScanTimeUs,
   SearchTimeUs,
   SolveTimeUs,
 

@@ -64,6 +64,9 @@ struct Tracer::Impl {
   std::vector<TraceBuffer> RetiredBufs;
   uint32_t NextTid = 1;
   SteadyClock::time_point Epoch = SteadyClock::now();
+  /// Per-thread buffer cap (drop-newest past this); relaxed atomic so the
+  /// record() hot path reads it without taking Mu. 0 disables the bound.
+  std::atomic<size_t> MaxEventsPerThread{size_t{1} << 18};
 
   /// Registers this thread's buffer on first traced event; moves it to the
   /// retired list on thread exit so late exports still see its events.
@@ -133,7 +136,20 @@ void Tracer::record(TraceEvent E) {
   if (!active())
     return;
   thread_local Impl::Holder Holder(impl());
+  size_t Max = impl().MaxEventsPerThread.load(std::memory_order_relaxed);
+  if (Max && Holder.Buf.Events.size() >= Max) {
+    SBD_OBS_INC(TraceEventsDropped);
+    return;
+  }
   Holder.Buf.Events.push_back(std::move(E));
+}
+
+void Tracer::setMaxEventsPerThread(size_t Max) {
+  impl().MaxEventsPerThread.store(Max, std::memory_order_relaxed);
+}
+
+size_t Tracer::maxEventsPerThread() const {
+  return impl().MaxEventsPerThread.load(std::memory_order_relaxed);
 }
 
 std::string Tracer::chromeTraceJson() {

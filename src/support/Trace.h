@@ -70,8 +70,16 @@ public:
   int64_t nowUs() const;
 
   /// Appends one event to the calling thread's buffer. No-op when not
-  /// enabled.
+  /// enabled. Once a thread's buffer holds maxEventsPerThread() events the
+  /// newest events are dropped (the earliest window of a run is the one
+  /// that explains it) and `trace_events_dropped` is bumped, so service
+  /// style always-on tracing cannot grow memory without bound.
   void record(TraceEvent E);
+
+  /// Per-thread event cap driving the drop policy; 0 means unbounded.
+  /// Takes effect for events recorded after the call.
+  void setMaxEventsPerThread(size_t Max);
+  size_t maxEventsPerThread() const;
 
   /// Renders all collected events (retired + live threads) as a Chrome
   /// trace_event JSON document. Call with worker threads joined.

@@ -2,7 +2,7 @@
 ///
 /// \file
 /// Golden end-to-end integration: every instance of the (downscaled)
-/// benchmark corpus is rendered to an SMT-LIB script (smt/SmtPrinter),
+/// benchmark corpus is rendered to an SMT-LIB script (re/SmtPrinter),
 /// re-read and solved through the SMT front end (smt/SmtSolver), and the
 /// verdict is compared with the instance's ground-truth label and with the
 /// solver's direct answer. This chains regex parser → printer → s-expr
@@ -14,7 +14,7 @@
 #include "Workloads.h"
 
 #include "re/RegexParser.h"
-#include "smt/SmtPrinter.h"
+#include "re/SmtPrinter.h"
 #include "smt/SmtSolver.h"
 
 #include <gtest/gtest.h>

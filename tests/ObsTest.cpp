@@ -11,12 +11,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/Exposition.h"
+#include "support/Histogram.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include "policy/Json.h"
 #include "re/RegexParser.h"
 #include "solver/RegexSolver.h"
+#include "solver/SlowQueryLog.h"
 
 #include <gtest/gtest.h>
 
@@ -83,9 +86,11 @@ TEST(MetricsTest, SolveStatsJsonParses) {
   EXPECT_EQ(R.Value.get("derivative_calls")->asNumber(), 11.0);
   EXPECT_EQ(R.Value.get("derive_us")->asNumber(), 42.0);
   for (const char *Key :
-       {"dnf_calls", "memo_hits", "arena_nodes", "peak_frontier", "parse_us",
-        "dnf_us", "search_us", "total_us"})
+       {"engine", "dnf_calls", "memo_hits", "arena_nodes", "peak_frontier",
+        "parse_us", "minterm_us", "dnf_us", "cache_probe_us", "scan_us",
+        "search_us", "total_us"})
     EXPECT_NE(R.Value.get(Key), nullptr) << Key;
+  EXPECT_EQ(R.Value.get("engine")->asString(), "deriv_bfs");
 }
 
 #if SBD_OBS
@@ -195,6 +200,255 @@ TEST(TracerTest, SpansDeadWhenTracerOff) {
   EXPECT_EQ(obs::Tracer::global().eventCount(), 0u);
 }
 
+TEST(TracerTest, PerThreadBufferBoundsMemoryAndCountsDrops) {
+  obs::Tracer &T = obs::Tracer::global();
+  const size_t OldCap = T.maxEventsPerThread();
+  obs::MetricsRegistry::global().reset();
+  T.setMaxEventsPerThread(16);
+  T.start();
+  for (int I = 0; I != 100; ++I)
+    obs::ScopedSpan Span("flood", "test");
+  T.stop();
+  EXPECT_LE(T.eventCount(), 16u);
+  // Drop-newest: the earliest window of the run is the one that is kept.
+  EXPECT_EQ(obs::MetricsRegistry::global().snapshot().get(
+                obs::Counter::TraceEventsDropped),
+            100u - 16u);
+  T.clear();
+  T.setMaxEventsPerThread(OldCap);
+  obs::MetricsRegistry::global().reset();
+}
+
 #endif // SBD_OBS
+
+TEST(HistogramTest, BucketRuleIsPureIntegerArithmetic) {
+  // Bucket 0 holds value 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(obs::histBucket(0), 0u);
+  EXPECT_EQ(obs::histBucket(1), 1u);
+  EXPECT_EQ(obs::histBucket(2), 2u);
+  EXPECT_EQ(obs::histBucket(3), 2u);
+  EXPECT_EQ(obs::histBucket(4), 3u);
+  EXPECT_EQ(obs::histBucket(1023), 10u);
+  EXPECT_EQ(obs::histBucket(1024), 11u);
+  EXPECT_EQ(obs::histBucket(UINT64_MAX), obs::NumHistBuckets - 1);
+  EXPECT_EQ(obs::histBucketUpperBound(0), 0u);
+  EXPECT_EQ(obs::histBucketUpperBound(1), 1u);
+  EXPECT_EQ(obs::histBucketUpperBound(2), 3u);
+  EXPECT_EQ(obs::histBucketUpperBound(11), 2047u);
+  EXPECT_EQ(obs::histBucketUpperBound(63), UINT64_MAX);
+}
+
+TEST(HistogramTest, RecordingAndPercentilesAreDeterministic) {
+  obs::HistShard::Data D;
+  for (uint64_t V : {0, 1, 2, 3, 5, 9, 100, 100, 1000, 60000})
+    D.record(V);
+  EXPECT_EQ(D.Count, 10u);
+  EXPECT_EQ(D.Sum, 61220u);
+  EXPECT_EQ(D.Min, 0u);
+  EXPECT_EQ(D.Max, 60000u);
+  EXPECT_EQ(D.Buckets[0], 1u); // 0
+  EXPECT_EQ(D.Buckets[1], 1u); // 1
+  EXPECT_EQ(D.Buckets[2], 2u); // 2, 3
+  EXPECT_EQ(D.Buckets[3], 1u); // 5
+  EXPECT_EQ(D.Buckets[4], 1u); // 9
+  EXPECT_EQ(D.Buckets[7], 2u); // 100 x2
+  EXPECT_EQ(D.Buckets[10], 1u); // 1000
+  EXPECT_EQ(D.Buckets[16], 1u); // 60000
+  // Percentile = upper bound of the bucket holding the ceil(q*N)-th sample,
+  // tightened to the observed Max: p50 -> 5th sample (value 5, bucket 3,
+  // ub 7); p90 -> 9th sample (1000, bucket 10, ub 1023); p99 -> 10th
+  // sample's bucket ub 65535 tightens to Max 60000.
+  EXPECT_EQ(obs::histPercentile(D, 50), 7u);
+  EXPECT_EQ(obs::histPercentile(D, 90), 1023u);
+  EXPECT_EQ(obs::histPercentile(D, 99), 60000u);
+  EXPECT_EQ(obs::histPercentile(obs::HistShard::Data(), 50), 0u);
+}
+
+TEST(HistogramTest, ShardJsonParses) {
+  obs::HistShard S;
+  S.record(obs::Hist::SolveLatencyUs, 7);
+  S.record(obs::Hist::SolveLatencyUs, 130);
+  JsonParseResult R = parseJson(S.json());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  for (size_t I = 0; I != obs::NumHistograms; ++I)
+    ASSERT_NE(R.Value.get(obs::histName(static_cast<obs::Hist>(I))), nullptr);
+  const JsonValue *Lat = R.Value.get("solve_latency_us");
+  EXPECT_EQ(Lat->get("count")->asNumber(), 2.0);
+  EXPECT_EQ(Lat->get("sum")->asNumber(), 137.0);
+  EXPECT_EQ(Lat->get("min")->asNumber(), 7.0);
+  EXPECT_EQ(Lat->get("max")->asNumber(), 130.0);
+  for (const char *Key : {"p50", "p90", "p99", "buckets"})
+    EXPECT_NE(Lat->get(Key), nullptr) << Key;
+  ASSERT_TRUE(Lat->get("buckets")->isArray());
+  EXPECT_EQ(Lat->get("buckets")->asArray().size(), 2u); // sparse: two buckets
+}
+
+#if SBD_OBS
+
+TEST(HistogramTest, MergeIsIndependentOfThreadCount) {
+  // The same fixed workload recorded on one thread and sliced over eight
+  // must merge to bit-identical distributions.
+  std::vector<uint64_t> Work;
+  for (uint64_t I = 0; I != 4096; ++I)
+    Work.push_back((I * 2654435761u) % 100000);
+
+  obs::HistShard Single;
+  for (uint64_t V : Work)
+    Single.record(obs::Hist::SolveLatencyUs, V);
+
+  obs::HistogramRegistry::global().reset();
+  std::vector<std::thread> Workers;
+  for (size_t W = 0; W != 8; ++W)
+    Workers.emplace_back([W, &Work] {
+      for (size_t I = W; I < Work.size(); I += 8)
+        obs::tlsHistShard().record(obs::Hist::SolveLatencyUs, Work[I]);
+    });
+  for (std::thread &Th : Workers)
+    Th.join();
+  obs::HistShard Merged = obs::HistogramRegistry::global().snapshot();
+
+  const obs::HistShard::Data &A = Single.data(obs::Hist::SolveLatencyUs);
+  const obs::HistShard::Data &B = Merged.data(obs::Hist::SolveLatencyUs);
+  EXPECT_EQ(A.Count, B.Count);
+  EXPECT_EQ(A.Sum, B.Sum);
+  EXPECT_EQ(A.Min, B.Min);
+  EXPECT_EQ(A.Max, B.Max);
+  for (size_t I = 0; I != obs::NumHistBuckets; ++I)
+    EXPECT_EQ(A.Buckets[I], B.Buckets[I]) << "bucket " << I;
+  EXPECT_EQ(Single.json(), Merged.json());
+  obs::HistogramRegistry::global().reset();
+}
+
+TEST(HistogramTest, SolverRecordsLatencyAndSizeDistributions) {
+  obs::HistogramRegistry::global().reset();
+  (void)solvePattern("(.*\\d.*)&(.*[a-z].*)&.{4,12}");
+  obs::HistShard Snap = obs::HistogramRegistry::global().snapshot();
+  EXPECT_EQ(Snap.count(obs::Hist::SolveLatencyUs), 1u);
+  EXPECT_EQ(Snap.count(obs::Hist::SolveArenaNodes), 1u);
+  EXPECT_GT(Snap.count(obs::Hist::DnfExpansionArcs), 0u);
+  EXPECT_GT(Snap.data(obs::Hist::SolveArenaNodes).Max, 0u);
+  obs::HistogramRegistry::global().reset();
+}
+
+#else // !SBD_OBS
+
+TEST(HistogramTest, RecordingCompiledOutUnderObsOff) {
+  obs::HistogramRegistry::global().reset();
+  SBD_OBS_HIST(SolveLatencyUs, 42); // must be a no-op
+  (void)solvePattern("(ab)+&(ba)+");
+  obs::HistShard Snap = obs::HistogramRegistry::global().snapshot();
+  for (size_t I = 0; I != obs::NumHistograms; ++I)
+    EXPECT_EQ(Snap.count(static_cast<obs::Hist>(I)), 0u);
+}
+
+#endif // SBD_OBS
+
+#if SBD_OBS
+
+TEST(SlowQueryLogTest, CapturesReplayableArtifactPastThreshold) {
+  obs::SlowQueryLog &Log = obs::SlowQueryLog::global();
+  (void)Log.drain();
+  obs::SlowQueryOptions Opts;
+  Opts.LatencyThresholdUs = 0; // capture everything
+  Log.configure(Opts);
+  EXPECT_TRUE(Log.armed());
+
+  SolveResult R = solvePattern("(.*\\d.*)&(.*[a-z].*)&.{4,12}");
+  EXPECT_TRUE(R.isSat());
+
+  std::vector<obs::SlowQueryArtifact> Got = Log.drain();
+  Log.configure(obs::SlowQueryOptions()); // disarm for later tests
+  EXPECT_FALSE(Log.armed());
+  ASSERT_EQ(Got.size(), 1u);
+  const obs::SlowQueryArtifact &A = Got[0];
+  EXPECT_NE(A.Pattern.find("re.inter"), std::string::npos);
+  EXPECT_NE(A.Script.find("(check-sat)"), std::string::npos);
+  EXPECT_EQ(A.Status, "sat");
+  EXPECT_EQ(A.Strategy, "bfs");
+  EXPECT_FALSE(A.Frontier.empty());
+  EXPECT_FALSE(A.TopCounters.empty());
+  // Time-class counters are excluded from the top-k list by contract.
+  for (const auto &KV : A.TopCounters)
+    EXPECT_EQ(KV.first.find("_time_us"), std::string::npos) << KV.first;
+
+  // The JSONL record parses and carries the full sbd-explain schema.
+  JsonParseResult P = parseJson(A.json());
+  ASSERT_TRUE(P.Ok) << P.Error;
+  for (const char *Key :
+       {"pattern", "script", "strategy", "timeout_ms", "max_states", "status",
+        "stop_reason", "total_us", "states", "frontier_stride",
+        "frontier_trace", "top_counters", "stats"})
+    EXPECT_NE(P.Value.get(Key), nullptr) << Key;
+  EXPECT_TRUE(P.Value.get("frontier_trace")->isArray());
+  EXPECT_TRUE(P.Value.get("stats")->isObject());
+}
+
+TEST(SlowQueryLogTest, RingDropsOldestPastCapacity) {
+  obs::SlowQueryLog &Log = obs::SlowQueryLog::global();
+  (void)Log.drain();
+  obs::SlowQueryOptions Opts;
+  Opts.LatencyThresholdUs = 0;
+  Opts.Capacity = 2;
+  Log.configure(Opts);
+  for (int I = 0; I != 4; ++I) {
+    obs::SlowQueryArtifact A;
+    A.TotalUs = I;
+    Log.capture(std::move(A));
+  }
+  EXPECT_EQ(Log.size(), 2u);
+  std::vector<obs::SlowQueryArtifact> Got = Log.drain();
+  Log.configure(obs::SlowQueryOptions());
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[0].TotalUs, 2);
+  EXPECT_EQ(Got[1].TotalUs, 3);
+}
+
+TEST(SlowQueryLogTest, NodeThresholdGatesCapture) {
+  obs::SlowQueryLog &Log = obs::SlowQueryLog::global();
+  obs::SlowQueryOptions Opts;
+  Opts.NodeThreshold = 1000000; // far above any toy query
+  Log.configure(Opts);
+  EXPECT_TRUE(Log.armed());
+  EXPECT_FALSE(Log.shouldCapture(/*TotalUs=*/50000, /*ArenaNodes=*/10));
+  EXPECT_TRUE(Log.shouldCapture(/*TotalUs=*/0, /*ArenaNodes=*/2000000));
+  Log.configure(obs::SlowQueryOptions());
+  EXPECT_FALSE(Log.armed());
+  EXPECT_FALSE(Log.shouldCapture(1000000, 1000000));
+}
+
+#endif // SBD_OBS
+
+TEST(ExpositionTest, PrometheusTextHasCountersAndHistogramSeries) {
+  obs::MetricsRegistry::global().reset();
+  obs::HistogramRegistry::global().reset();
+  (void)solvePattern("a{3}b*");
+  std::string Text = obs::prometheusText();
+  EXPECT_NE(Text.find("# TYPE sbd_queries_solved counter"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE sbd_solve_latency_us histogram"),
+            std::string::npos);
+#if SBD_OBS
+  EXPECT_NE(Text.find("sbd_queries_solved 1"), std::string::npos);
+  EXPECT_NE(Text.find("sbd_solve_latency_us_count 1"), std::string::npos);
+  EXPECT_NE(Text.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+#else
+  EXPECT_NE(Text.find("sbd_queries_solved 0"), std::string::npos);
+  EXPECT_NE(Text.find("sbd_solve_latency_us_count 0"), std::string::npos);
+#endif
+  obs::MetricsRegistry::global().reset();
+  obs::HistogramRegistry::global().reset();
+}
+
+TEST(ExpositionTest, SnapshotJsonParsesWithBothSections) {
+  JsonParseResult R = parseJson(obs::snapshotJson());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const JsonValue *Counters = R.Value.get("counters");
+  const JsonValue *Hists = R.Value.get("histograms");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_NE(Hists, nullptr);
+  EXPECT_TRUE(Counters->isObject());
+  EXPECT_TRUE(Hists->isObject());
+  EXPECT_NE(Counters->get("derivative_calls"), nullptr);
+  EXPECT_NE(Hists->get("dnf_expansion_arcs"), nullptr);
+}
 
 } // namespace

@@ -1,6 +1,6 @@
 //===- tests/SmtPrinterTest.cpp - Regex → SMT-LIB round-trip tests -----------===//
 
-#include "smt/SmtPrinter.h"
+#include "re/SmtPrinter.h"
 
 #include "core/Derivatives.h"
 #include "re/RegexParser.h"

@@ -143,6 +143,13 @@ int main(int Argc, char **Argv) {
     for (const EngineTiming &T : Rep.Timings)
       std::cerr << "  engine " << T.Name << ": calls=" << T.Calls
                 << " total_us=" << T.TotalUs << "\n";
+    for (const EnginePhase &P : Rep.Engines)
+      std::cerr << "  phases " << P.Name << ": queries=" << P.Queries
+                << " derive_us=" << P.Stats.DeriveUs
+                << " dnf_us=" << P.Stats.DnfUs
+                << " cache_probe_us=" << P.Stats.CacheProbeUs
+                << " search_us=" << P.Stats.SearchUs
+                << " total_us=" << P.Stats.TotalUs << "\n";
     for (size_t I = 0; I != Rep.Discrepancies.size(); ++I) {
       const Discrepancy &D = Rep.Discrepancies[I];
       std::cerr << "\n--- discrepancy " << (I + 1) << " ---\n"
