@@ -35,7 +35,7 @@
 #ifndef SBD_BENCH_BENCHARGS_H
 #define SBD_BENCH_BENCHARGS_H
 
-#include "solver/BatchSolver.h"
+#include "portfolio/BatchSolver.h"
 #include "solver/SlowQueryLog.h"
 #include "solver/SolverResult.h"
 #include "support/Exposition.h"

@@ -19,7 +19,7 @@
 #include "BenchArgs.h"
 #include "Workloads.h"
 
-#include "solver/BatchSolver.h"
+#include "portfolio/BatchSolver.h"
 #include "support/Stopwatch.h"
 
 #include <cstdio>

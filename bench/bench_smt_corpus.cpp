@@ -17,7 +17,7 @@
 #include "re/RegexParser.h"
 #include "re/SmtPrinter.h"
 #include "smt/SmtSolver.h"
-#include "solver/BatchSolver.h"
+#include "portfolio/BatchSolver.h"
 #include "support/Stopwatch.h"
 
 #include <cstdio>

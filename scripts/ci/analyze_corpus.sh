@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Static-analysis regression gate over the seed benchmark corpus:
+#
+#   1. sbd-analyze must classify the whole corpus without crashing or
+#      parse errors.
+#   2. The per-instance classifications must match the checked-in baseline
+#      (scripts/ci/analyze_corpus_baseline.txt). A drifted classification
+#      silently re-routes queries between engines — that is a reviewed
+#      change, not an accident: regenerate the baseline with
+#        build/tools/sbd-analyze --corpus --classes \
+#          > scripts/ci/analyze_corpus_baseline.txt
+#      and commit it alongside the analyzer change.
+#   3. The analyzer must stay cheap: total analysis time over the corpus
+#      must be under SBD_ANALYZE_OVERHEAD_PCT (default 5) percent of the
+#      total solve time for the same patterns.
+#
+# Usage: analyze_corpus.sh [build-dir]
+. "$(dirname "$0")/common.sh"
+
+BUILD_DIR="${1:-build}"
+BASELINE="scripts/ci/analyze_corpus_baseline.txt"
+OVERHEAD_PCT="${SBD_ANALYZE_OVERHEAD_PCT:-5}"
+
+sbd_configure "$BUILD_DIR"
+sbd_build "$BUILD_DIR" sbd-analyze
+ANALYZE_BIN="$BUILD_DIR/tools/sbd-analyze"
+[ -x "$ANALYZE_BIN" ] || {
+  echo "error: $ANALYZE_BIN was not built" >&2
+  exit 1
+}
+
+echo "== analyze corpus: classification regression vs $BASELINE =="
+CLASSES="$(mktemp /tmp/sbd-analyze-classes.XXXXXX)"
+trap 'rm -f "$CLASSES"' EXIT
+"$ANALYZE_BIN" --corpus --classes > "$CLASSES"
+
+if [ ! -f "$BASELINE" ]; then
+  echo "error: $BASELINE missing — generate it with:" >&2
+  echo "  $ANALYZE_BIN --corpus --classes > $BASELINE" >&2
+  exit 1
+fi
+if ! diff -u "$BASELINE" "$CLASSES"; then
+  echo "error: corpus classifications drifted from the baseline (see diff" >&2
+  echo "above). If intentional, regenerate and commit the baseline." >&2
+  exit 1
+fi
+echo "classifications stable ($(wc -l < "$CLASSES") instances)"
+
+echo "== analyze corpus: analyzer overhead gate (<${OVERHEAD_PCT}% of solve) =="
+"$ANALYZE_BIN" --corpus --solve --json > /tmp/sbd-analyze-corpus.json
+python3 - "$OVERHEAD_PCT" <<'EOF'
+import json, sys
+pct = float(sys.argv[1])
+with open("/tmp/sbd-analyze-corpus.json") as f:
+    rep = json.load(f)
+analysis = rep["analysis_us_total"]
+solve = rep["solve_us_total"]
+assert rep["parse_errors"] == 0, f"corpus parse errors: {rep['parse_errors']}"
+assert solve > 0, "corpus solve time is zero — harness broken?"
+ratio = 100.0 * analysis / solve
+print(f"analysis {analysis} us over solve {solve} us = {ratio:.2f}%")
+assert ratio < pct, (
+    f"analyzer overhead {ratio:.2f}% exceeds the {pct}% budget")
+EOF
+echo "analyze_corpus.sh: OK"

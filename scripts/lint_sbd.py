@@ -19,6 +19,12 @@ Three rules, each encoding an invariant the type system cannot:
    out under -DSBD_OBS=0), never raw obs::tlsShard() / MetricShard::add
    calls that would survive in "observability off" builds.
 
+4. engine-routing: the solver/SMT/policy layers must not instantiate the
+   baseline engines (AntimirovSolver, BrzozowskiMintermSolver, EagerSolver)
+   directly — engine selection belongs to the analyzer-driven portfolio
+   (src/portfolio, DESIGN.md section 14). An ad-hoc engine pick bypasses
+   the admission cap and the routing regression gates.
+
 Exit status: 0 clean, 1 violations (printed as file:line: rule: message).
 """
 
@@ -67,6 +73,15 @@ RAW_OBS = re.compile(
     r"|\bobs::tlsHistShard\s*\(|\btlsHistShard\s*\(\s*\)\s*\.record\b"
     r"|\bMetricsRegistry::global\s*\(\s*\)\s*\.local\b"
     r"|\bHistogramRegistry::global\s*\(\s*\)\s*\.local\b")
+
+# Rule 4: layers that must route through the portfolio rather than picking
+# an engine ad hoc. Only declarations/constructions trip the rule (the type
+# name followed by a variable or brace), not mentions in comments/includes.
+ROUTED_LAYERS = (SRC / "solver", SRC / "smt", SRC / "policy")
+ROUTING_SITES = {SRC / "portfolio" / "Portfolio.cpp",
+                 SRC / "portfolio" / "Portfolio.h"}
+ENGINE_CTOR = re.compile(
+    r"\b(?:AntimirovSolver|BrzozowskiMintermSolver|EagerSolver)\s*[({\w]")
 
 LINE_COMMENT = re.compile(r"//.*$")
 
@@ -129,6 +144,14 @@ def lint_file(path: Path):
                 (path, lineno, "obs-compiled-out",
                  "raw shard access survives -DSBD_OBS=0 builds; use "
                  "SBD_OBS_INC/SBD_OBS_ADD or wrap in #if SBD_OBS"))
+
+        if (any(layer in path.parents for layer in ROUTED_LAYERS)
+                and path not in ROUTING_SITES and ENGINE_CTOR.search(code)):
+            violations.append(
+                (path, lineno, "engine-routing",
+                 "solver/smt/policy layers must not instantiate baseline "
+                 "engines directly; route through "
+                 "portfolio::PortfolioSolver/planRoute"))
 
     return violations
 

@@ -28,6 +28,9 @@ Two modes:
 
 Beyond the ratio checks, the guard asserts on every compare that
   - dense_row_hits > 0: the solver's dense-row replay path actually fired;
+  - analysis_nodes_visited > 0 and analysis_cache_hits > 0: every query
+    went through the pre-solve static analyzer, and the memo actually
+    carried weight across the corpus (DESIGN.md section 14);
   - dfa_states_built > 0 and alphabet_minterms > 0: the lazy-DFA series
     really built states over a compressed alphabet (both were silently 0 in
     BENCH_PR4.json because only the corpus bench reported counters);
@@ -139,7 +142,8 @@ def snapshot(micro_path, corpus_path, out_path):
         "corpus_counters": {
             k: counters[k]
             for k in ("dense_row_hits", "dfa_states_built", "dfa_evictions",
-                      "alphabet_minterms")
+                      "alphabet_minterms", "analysis_nodes_visited",
+                      "analysis_cache_hits")
             if k in counters
         },
         # Latency distribution of the corpus run (bench_trend.py plots the
@@ -199,6 +203,12 @@ def compare(baseline_path, micro_path, corpus_path):
         failures.append(
             "  corpus dense_row_hits == 0: the dense-row replay path never "
             "fired")
+
+    for key in ("analysis_nodes_visited", "analysis_cache_hits"):
+        if cur_counters.get(key, 0) <= 0:
+            failures.append(
+                f"  corpus {key} == 0: the pre-solve analyzer never ran "
+                "(portfolio routing bypassed?)")
 
     micro_counters = micro_counter_view(cur_micro)
     for key in ("dfa_states_built", "alphabet_minterms"):

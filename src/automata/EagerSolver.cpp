@@ -15,8 +15,11 @@ std::optional<Snfa> EagerSolver::compileNfa(Re R, size_t MaxStates,
   }
 
   // Plain RE subtrees compile directly (the cheap path a classic solver
-  // also has).
-  if (M.isPlainRe(R)) {
+  // also has). The fragment test is an O(1) analyzer feature lookup after
+  // the first fold — the old per-recursion-level isPlainRe tree walk made
+  // this quadratic on deep terms.
+  const analysis::RegexFeatures &F = Analyzer.analyze(R);
+  if (F.NumCompl == 0 && F.NumInter == 0) {
     auto A = compileReToNfa(M, R, MaxStates);
     if (A)
       StatesBuilt += A->numStates();

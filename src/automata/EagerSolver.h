@@ -21,6 +21,7 @@
 #ifndef SBD_AUTOMATA_EAGERSOLVER_H
 #define SBD_AUTOMATA_EAGERSOLVER_H
 
+#include "analysis/RegexAnalyzer.h"
 #include "automata/Glushkov.h"
 #include "automata/Sfa.h"
 #include "solver/SolverResult.h"
@@ -57,6 +58,7 @@ private:
   std::optional<Snfa> compileNfa(Re R, size_t MaxStates, bool &TimedOut);
 
   RegexManager &M;
+  analysis::RegexAnalyzer Analyzer{M};
   Policy Pol;
   size_t StatesBuilt = 0;
   int64_t DeadlineMs = 0;

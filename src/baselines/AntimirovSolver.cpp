@@ -135,21 +135,11 @@ std::optional<Snfa> sbd::buildPartialDerivativeNfa(RegexManager &M, Re R,
   return A;
 }
 
-/// Does R mention `~` anywhere? Solvers of this family reject such inputs
-/// up front (they are outside the supported language, as in the paper's
-/// evaluation setup).
-static bool containsComplement(const RegexManager &M, Re R) {
-  const RegexNode &N = M.node(R);
-  if (N.Kind == RegexKind::Compl)
-    return true;
-  for (Re Kid : N.Kids)
-    if (containsComplement(M, Kid))
-      return true;
-  return false;
-}
-
 bool AntimirovSolver::supports(const RegexManager &Mgr, Re R) {
-  return !containsComplement(Mgr, R);
+  // Fragment test = "does R mention `~` anywhere", answered from the
+  // analyzer's per-node constructor counts.
+  analysis::RegexAnalyzer A(Mgr);
+  return A.analyze(R).NumCompl == 0;
 }
 
 SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
@@ -157,7 +147,7 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
   SolveResult Result;
   Result.Stats.Engine = SolveEngine::Antimirov;
 
-  if (containsComplement(M, R)) {
+  if (!supports(R)) {
     Result.Status = SolveStatus::Unsupported;
     Result.Stop = StopReason::UnsupportedFragment;
     Result.Note = "complement is outside the partial-derivative fragment";
@@ -188,6 +178,7 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
   if (M.nullable(R)) {
     finishSat(R);
     Result.StatesExplored = 1;
+    Result.Stats.SolverSteps = 1;
     Result.TimeUs = Timer.elapsedUs();
     Result.Stats.TotalUs = Result.TimeUs;
     Result.Stats.SearchUs = Result.TimeUs;
@@ -218,6 +209,7 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
       Result.Stop = StopReason::UnsupportedFragment;
       Result.Note = "complement is outside the partial-derivative fragment";
       Result.StatesExplored = Visited.size();
+      Result.Stats.SolverSteps = Visited.size();
       Result.TimeUs = Timer.elapsedUs();
       Result.Stats.TotalUs = Result.TimeUs;
       Result.Stats.SearchUs = Result.TimeUs;
@@ -233,6 +225,7 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
       if (M.nullable(Next)) {
         finishSat(Next);
         Result.StatesExplored = Visited.size();
+        Result.Stats.SolverSteps = Visited.size();
         Result.TimeUs = Timer.elapsedUs();
         Result.Stats.TotalUs = Result.TimeUs;
         Result.Stats.SearchUs = Result.TimeUs;
@@ -244,6 +237,7 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
 
   if (Result.Status == SolveStatus::Unknown && !Result.Note.empty()) {
     Result.StatesExplored = Visited.size();
+    Result.Stats.SolverSteps = Visited.size();
     Result.TimeUs = Timer.elapsedUs();
     Result.Stats.TotalUs = Result.TimeUs;
     Result.Stats.SearchUs = Result.TimeUs;
@@ -251,6 +245,7 @@ SolveResult AntimirovSolver::solve(Re R, const SolveOptions &Opts) {
   }
   Result.Status = SolveStatus::Unsat;
   Result.StatesExplored = Visited.size();
+  Result.Stats.SolverSteps = Visited.size();
   Result.TimeUs = Timer.elapsedUs();
   Result.Stats.TotalUs = Result.TimeUs;
   Result.Stats.SearchUs = Result.TimeUs;

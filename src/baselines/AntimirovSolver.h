@@ -18,6 +18,7 @@
 #ifndef SBD_BASELINES_ANTIMIROVSOLVER_H
 #define SBD_BASELINES_ANTIMIROVSOLVER_H
 
+#include "analysis/RegexAnalyzer.h"
 #include "automata/Sfa.h"
 #include "re/Regex.h"
 #include "solver/SolverResult.h"
@@ -55,12 +56,19 @@ public:
   SolveResult solve(Re R, const SolveOptions &Opts = {});
 
   /// True when R is inside the positive fragment this solver handles (no
-  /// `~` anywhere). The differential oracle consults this up front so an
-  /// Unsupported verdict is a skip, never a discrepancy.
+  /// `~` anywhere). O(1) after the solver's analyzer has folded R — the
+  /// check is a RegexFeatures lookup, so it cannot drift from the
+  /// analyzer's view of the term.
+  bool supports(Re R) { return Analyzer.analyze(R).NumCompl == 0; }
+
+  /// Stateless variant for callers without a solver instance (tests). Runs
+  /// a throwaway analyzer: one memoized O(DAG) fold, unlike the old
+  /// recursive tree walk that was exponential on shared sub-DAGs.
   static bool supports(const RegexManager &Mgr, Re R);
 
 private:
   RegexManager &M;
+  analysis::RegexAnalyzer Analyzer{M};
 };
 
 } // namespace sbd

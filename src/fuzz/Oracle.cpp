@@ -2,6 +2,7 @@
 
 #include "fuzz/Oracle.h"
 
+#include "re/RegexParser.h"
 #include "support/Metrics.h"
 #include "support/Stopwatch.h"
 
@@ -26,6 +27,10 @@ const char *sbd::fuzz::oracleLawName(OracleLaw L) {
     return "sat_verdict";
   case OracleLaw::WitnessValid:
     return "witness_valid";
+  case OracleLaw::AnalyzerPrefix:
+    return "analyzer_prefix";
+  case OracleLaw::AnalyzerStability:
+    return "analyzer_stability";
   }
   return "?";
 }
@@ -168,7 +173,7 @@ void DifferentialOracle::checkSatVerdicts(std::vector<Discrepancy> &Out) {
                }));
   }
 
-  if (AntimirovSolver::supports(M, Cur)) {
+  if (CurFeat.NumCompl == 0) {
     SolveOptions BOpts;
     BOpts.MaxStates = Opts.BaselineMaxStates;
     AntimirovSolver AS(M);
@@ -214,6 +219,10 @@ void DifferentialOracle::checkSatVerdicts(std::vector<Discrepancy> &Out) {
             OracleLaw::WitnessValid, V.Res.Witness, V.Name,
             std::string(V.Name) + " produced a witness the reference "
                                   "matcher rejects"));
+      } else {
+        // A valid witness is an accepted word, so the analyzer's required
+        // literal prefix must be a prefix of it.
+        checkAnalyzerPrefix(V.Res.Witness, V.Name, Out);
       }
     }
     if (V.Res.isSat() || V.Res.isUnsat()) {
@@ -238,10 +247,98 @@ void DifferentialOracle::checkSatVerdicts(std::vector<Discrepancy> &Out) {
                    FirstDefinite->Res.isUnsat();
 }
 
+
+void DifferentialOracle::checkAnalyzerPrefix(const std::vector<uint32_t> &W,
+                                             const char *Engine,
+                                             std::vector<Discrepancy> &Out) {
+  ++Checks;
+  SBD_OBS_INC(FuzzChecks);
+  bool Bad = W.size() < CurFeat.PrefixLen;
+  for (uint32_t I = 0; !Bad && I != CurFeat.PrefixLen; ++I)
+    Bad = W[I] != CurFeat.Prefix[I];
+  // An exact+complete prefix claims L(R) is that single word.
+  if (!Bad && CurFeat.PrefixExact && CurFeat.PrefixComplete)
+    Bad = W.size() != CurFeat.PrefixLen;
+  if (!Bad)
+    return;
+  SBD_OBS_INC(FuzzDiscrepancies);
+  std::string Detail = "accepted word violates analyzed prefix (len=" +
+                       std::to_string(CurFeat.PrefixLen) +
+                       (CurFeat.PrefixExact ? ", exact" : "") + ")";
+  Out.push_back(
+      makeDiscrepancy(OracleLaw::AnalyzerPrefix, W, Engine, std::move(Detail)));
+}
+
+void DifferentialOracle::checkAnalyzerStability(std::vector<Discrepancy> &Out) {
+  ++Checks;
+  SBD_OBS_INC(FuzzChecks);
+  // Print, reparse into a fresh arena, re-analyze with a fresh analyzer:
+  // every feature must be identical (classification determinism across
+  // arena rebuilds). In-arena rewrites are vacuous under hash-consing, so
+  // the rebuild is the strongest similarity-preserving transform we have.
+  std::string Printed = M.toString(Cur);
+  RegexManager FreshM;
+  RegexParseResult P = parseRegex(FreshM, Printed);
+  if (!P.Ok) {
+    SBD_OBS_INC(FuzzDiscrepancies);
+    Out.push_back(makeDiscrepancy(OracleLaw::AnalyzerStability, {}, "",
+                                  "printed pattern failed to reparse: " +
+                                      P.Error));
+    return;
+  }
+  analysis::RegexAnalyzer FreshA(FreshM);
+  const analysis::RegexFeatures &G = FreshA.analyze(P.Value);
+  const analysis::RegexFeatures &F = CurFeat;
+  std::string Diff;
+  auto cmp = [&Diff](const char *Name, uint64_t A, uint64_t B) {
+    if (A == B)
+      return;
+    if (!Diff.empty())
+      Diff += ' ';
+    Diff += Name;
+    Diff += '=';
+    Diff += std::to_string(A);
+    Diff += "->";
+    Diff += std::to_string(B);
+  };
+  cmp("class", static_cast<uint64_t>(F.Class), static_cast<uint64_t>(G.Class));
+  cmp("risk", F.Risk, G.Risk);
+  cmp("tree_size", F.TreeSize, G.TreeSize);
+  cmp("dag_size", F.DagSize, G.DagSize);
+  cmp("star_height", F.StarHeight, G.StarHeight);
+  cmp("boolean_depth", F.BooleanDepth, G.BooleanDepth);
+  cmp("compl_depth", F.ComplDepth, G.ComplDepth);
+  cmp("counter_blowup", F.CounterBlowup, G.CounterBlowup);
+  cmp("max_loop_bound", F.MaxLoopBound, G.MaxLoopBound);
+  cmp("distinct_preds", F.DistinctPreds, G.DistinctPreds);
+  cmp("minterm_bound", F.MintermBound, G.MintermBound);
+  cmp("nullable", F.Nullable, G.Nullable);
+  cmp("empty_lang", F.EmptyLang, G.EmptyLang);
+  cmp("num_pred", F.NumPred, G.NumPred);
+  cmp("num_concat", F.NumConcat, G.NumConcat);
+  cmp("num_star", F.NumStar, G.NumStar);
+  cmp("num_loop", F.NumLoop, G.NumLoop);
+  cmp("num_union", F.NumUnion, G.NumUnion);
+  cmp("num_inter", F.NumInter, G.NumInter);
+  cmp("num_compl", F.NumCompl, G.NumCompl);
+  cmp("prefix_len", F.PrefixLen, G.PrefixLen);
+  cmp("prefix_exact", F.PrefixExact, G.PrefixExact);
+  cmp("prefix_complete", F.PrefixComplete, G.PrefixComplete);
+  for (uint32_t I = 0; I != analysis::RegexFeatures::PrefixCap; ++I)
+    cmp("prefix_char", F.Prefix[I], G.Prefix[I]);
+  if (Diff.empty())
+    return;
+  SBD_OBS_INC(FuzzDiscrepancies);
+  Out.push_back(makeDiscrepancy(OracleLaw::AnalyzerStability, {}, "",
+                                "features drifted across rebuild: " + Diff));
+}
+
 void DifferentialOracle::beginRegex(Re Rx, std::vector<Discrepancy> &Out) {
   Cur = Rx;
   CurCompl = M.complement(Rx);
   ConsensusUnsat = false;
+  CurFeat = Solver.analyzer().analyze(Rx);
+  checkAnalyzerStability(Out);
 
   // Promotion is pinned off for the two lazy engines: the compiled path is
   // cross-checked through its own engines below, and these two must keep
@@ -294,7 +391,7 @@ void DifferentialOracle::beginRegex(Re Rx, std::vector<Discrepancy> &Out) {
   }
 
   AntiNfa.reset();
-  if (Opts.UseAntimirovNfa && AntimirovSolver::supports(M, Cur))
+  if (Opts.UseAntimirovNfa && CurFeat.NumCompl == 0)
     AntiNfa = timed(EngAntimirovNfa, [&] {
       return buildPartialDerivativeNfa(M, Cur, Opts.BaselineMaxStates);
     });
@@ -323,6 +420,8 @@ void DifferentialOracle::checkWord(const std::vector<uint32_t> &W,
                                    std::vector<Discrepancy> &Out) {
   SBD_OBS_INC(FuzzSamples);
   bool Ref = timed(EngRefMatcher, [&] { return Eng.matches(Cur, W); });
+  if (Ref)
+    checkAnalyzerPrefix(W, engineName(EngRefMatcher), Out);
 
   noteMembership(W, engineName(EngDfaMatcher),
                  timed(EngDfaMatcher, [&] { return DfaMatcher->matches(W); }),

@@ -31,11 +31,19 @@
 ///   - De Morgan duals: ~(A&B) ≡ ~A|~B and ~(A|B) ≡ ~A&~B, checked by
 ///     membership sampling *and* by solver-based equivalence.
 ///
+///  **Analyzer soundness** (DESIGN.md §14): every word any engine accepts
+///  must start with the pre-solve analysis' required literal prefix (and
+///  equal it exactly when the analysis claims the language is a single
+///  word), and the whole feature record must be invariant under printing
+///  the regex and reparsing it into a fresh arena — classification
+///  determinism across arena rebuilds.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SBD_FUZZ_ORACLE_H
 #define SBD_FUZZ_ORACLE_H
 
+#include "analysis/RegexAnalyzer.h"
 #include "automata/EagerSolver.h"
 #include "automata/Safa.h"
 #include "automata/Sbfa.h"
@@ -63,6 +71,8 @@ enum class OracleLaw : uint8_t {
   DeMorgan,      ///< ~(A&B) ≢ ~A|~B (or the | dual)
   SatVerdict,    ///< two solvers returned conflicting definite verdicts
   WitnessValid,  ///< a Sat witness was rejected by the reference matcher
+  AnalyzerPrefix,    ///< an accepted word violated the analyzed literal prefix
+  AnalyzerStability, ///< features changed across a print/reparse rebuild
 };
 
 /// Stable snake_case name for report output.
@@ -202,6 +212,11 @@ private:
 
   void noteMembership(const std::vector<uint32_t> &W, const char *Engine,
                       bool Got, bool Want, std::vector<Discrepancy> &Out);
+  /// Analyzer literal-prefix soundness for one accepted word.
+  void checkAnalyzerPrefix(const std::vector<uint32_t> &W,
+                           const char *Engine, std::vector<Discrepancy> &Out);
+  /// Feature invariance under print → reparse into a fresh arena.
+  void checkAnalyzerStability(std::vector<Discrepancy> &Out);
   Discrepancy makeDiscrepancy(OracleLaw Law, const std::vector<uint32_t> &W,
                               const std::string &Engine,
                               std::string Detail) const;
@@ -227,6 +242,9 @@ private:
   std::optional<Safa> SafaA;
   std::optional<Sdfa> EagerD;
   std::optional<Snfa> AntiNfa;
+  /// Features of Cur (from the solver's shared analyzer), driving the
+  /// baseline capability gates and the analyzer-soundness laws.
+  analysis::RegexFeatures CurFeat;
   bool ConsensusUnsat = false;
 
   // Accumulators.

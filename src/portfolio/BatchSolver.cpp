@@ -1,9 +1,9 @@
-//===- solver/BatchSolver.cpp - Parallel batch solving front end ------------===//
+//===- portfolio/BatchSolver.cpp - Parallel batch solving front end ---------===//
 
-#include "solver/BatchSolver.h"
+#include "portfolio/BatchSolver.h"
 
 #include "re/RegexParser.h"
-#include "solver/RegexSolver.h"
+#include "portfolio/Portfolio.h"
 #include "support/Exposition.h"
 #include "support/Stopwatch.h"
 #include "support/Trace.h"
@@ -25,6 +25,7 @@ struct WorkerStack {
   TrManager T{M};
   DerivativeEngine E{M, T};
   RegexSolver S{E};
+  portfolio::PortfolioSolver P{S};
 
   WorkerStack() = default;
   WorkerStack(const WorkerStack &) = delete;
@@ -64,7 +65,7 @@ BatchResult solveOne(WorkerStack &W, const BatchQuery &Q, bool LongLived) {
   SolveOptions Opts = Q.Opts;
   if (LongLived)
     Opts.EagerRowRecording = true;
-  Out.Result = W.S.checkSat(Parsed.Value, Opts);
+  Out.Result = W.P.checkSat(Parsed.Value, Opts);
   // Sat witnesses are re-validated through the worker's matcher pool (the
   // compiled serving path once a regex is hot). This is a pure guard:
   // verdicts and witnesses are unchanged on the (only observed) passing

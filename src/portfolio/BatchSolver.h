@@ -1,4 +1,4 @@
-//===- solver/BatchSolver.h - Parallel batch solving front end --------------===//
+//===- portfolio/BatchSolver.h - Parallel batch solving front end -----------===//
 ///
 /// \file
 /// Serving-stack front end: takes N independent regex satisfiability
@@ -17,8 +17,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef SBD_SOLVER_BATCHSOLVER_H
-#define SBD_SOLVER_BATCHSOLVER_H
+#ifndef SBD_PORTFOLIO_BATCHSOLVER_H
+#define SBD_PORTFOLIO_BATCHSOLVER_H
 
 #include "solver/SolverResult.h"
 #include "support/Metrics.h"
@@ -96,4 +96,4 @@ private:
 
 } // namespace sbd
 
-#endif // SBD_SOLVER_BATCHSOLVER_H
+#endif // SBD_PORTFOLIO_BATCHSOLVER_H

@@ -1,0 +1,82 @@
+//===- portfolio/Portfolio.cpp - Analyzer-driven engine selection -----------===//
+
+#include "portfolio/Portfolio.h"
+
+#include "support/Stopwatch.h"
+
+using namespace sbd;
+using namespace sbd::portfolio;
+
+// Routing thresholds (DESIGN.md §14). Antimirov's partial-derivative BFS
+// wins on small positive iteration-only patterns — at most ♯(R)+1 NFA
+// states, no DNF transformation — but its per-query closure rebuild loses
+// to the derivative engine's cross-query dense-row cache as patterns grow,
+// so the gate is deliberately tight (tuned on bench_smt_corpus).
+namespace {
+constexpr uint32_t AntimirovMaxDag = 48;
+constexpr uint32_t AntimirovMaxPreds = 16;
+constexpr uint64_t AntimirovMaxBlowup = 16;
+} // namespace
+
+RouteDecision portfolio::planRoute(const analysis::RegexFeatures &F,
+                                   const SolveOptions &Opts) {
+  RouteDecision D;
+  // Only the derivative engine implements the DFS strategy knob; honoring
+  // the caller's search order outranks any routing win.
+  if (Opts.Strategy == SearchStrategy::Dfs) {
+    D.Engine = SolveEngine::DerivDfs;
+    D.Reason = "dfs_strategy_pinned";
+    return D;
+  }
+  if (F.Class == analysis::ReClass::Adversarial) {
+    // Derivative engine under the admission cap: it degrades gracefully
+    // (budgeted Unknown) where the eager constructions blow up first.
+    D.Reason = "adversarial_capped";
+    return D;
+  }
+  if (F.Class == analysis::ReClass::KleeneOnly && F.DagSize <= AntimirovMaxDag &&
+      F.DistinctPreds <= AntimirovMaxPreds &&
+      F.CounterBlowup <= AntimirovMaxBlowup) {
+    D.Engine = SolveEngine::Antimirov;
+    D.Reason = "small_positive_iteration";
+    return D;
+  }
+  // Literal/Sparse queries are near-free on the derivative engine (and
+  // benefit from its dense-row replay); Boolean/counter-heavy ones are
+  // outside the baselines' efficient fragment. BrzMinterm and the eager
+  // DFA constructions are dominated on every class (see DESIGN.md §14) and
+  // are never auto-selected.
+  return D;
+}
+
+SolveResult PortfolioSolver::checkSat(Re R, const SolveOptions &Opts) {
+  Stopwatch AnalysisTimer;
+  const analysis::RegexFeatures Feat = S.analyzer().analyze(R);
+  const int64_t AnalysisUs = AnalysisTimer.elapsedUs();
+  RouteDecision D = planRoute(Feat, Opts);
+
+  if (D.Engine == SolveEngine::Antimirov) {
+    SolveResult R1 = Anti.solve(R, Opts);
+    if (R1.Status == SolveStatus::Sat || R1.Status == SolveStatus::Unsat) {
+      R1.Stats.PredictedClass = analysis::reClassName(Feat.Class);
+      R1.Stats.RiskScore = Feat.Risk;
+      R1.Stats.PredictedStates = analysis::predictedStateBound(Feat);
+      R1.Stats.AnalysisUs = AnalysisUs;
+      return R1;
+    }
+    // Non-answer (budget, timeout, fragment): the derivative engine is the
+    // completeness backstop, so routing can never lose a verdict.
+  }
+  return S.checkSat(R, Opts);
+}
+
+SolveResult
+PortfolioSolver::checkMembership(const std::vector<MembershipLiteral> &Literals,
+                                 const SolveOptions &Opts) {
+  // in(s,r1) ∧ ¬in(s,r2) ∧ …  ⇒  in(s, r1 & ~r2 & …)   (Section 2)
+  std::vector<Re> Parts;
+  Parts.reserve(Literals.size());
+  for (const MembershipLiteral &L : Literals)
+    Parts.push_back(L.Positive ? L.Regex : M.complement(L.Regex));
+  return checkSat(M.interList(std::move(Parts)), Opts);
+}

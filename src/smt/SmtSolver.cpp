@@ -2,6 +2,7 @@
 
 #include "smt/SmtSolver.h"
 
+#include "portfolio/Portfolio.h"
 #include "re/SmtPrinter.h"
 #include "support/Exposition.h"
 #include "support/Histogram.h"
@@ -27,7 +28,7 @@ struct Atom {
 class Script {
 public:
   Script(RegexSolver &S, const SolveOptions &Options)
-      : Solver(S), M(S.regexManager()), Opts(Options) {}
+      : Solver(S), Port(S), M(S.regexManager()), Opts(Options) {}
 
   SmtResult run(const std::string &Text) {
     SExprParseResult Parsed = parseSExprs(Text);
@@ -95,6 +96,10 @@ public:
 
 private:
   RegexSolver &Solver;
+  /// Analyzer-driven engine selection for every membership sub-query
+  /// (portfolio/Portfolio.h); Policy checks inherit the routing through
+  /// here as well.
+  portfolio::PortfolioSolver Port;
   RegexManager &M;
   SolveOptions Opts;
   BoolExprManager B;
@@ -623,7 +628,7 @@ private:
       PerVar[Atoms[AtomIdx].Var].push_back({Atoms[AtomIdx].Regex, Value});
     std::vector<std::pair<std::string, std::string>> Model;
     for (const auto &[Var, Literals] : PerVar) {
-      SolveResult R = Solver.checkMembership(Literals, Opts);
+      SolveResult R = Port.checkMembership(Literals, Opts);
       Result.Stats += R.Stats;
       ++RegexQueries;
       if (R.Status == SolveStatus::Unknown) {

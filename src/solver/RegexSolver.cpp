@@ -26,10 +26,10 @@ struct Reached {
 
 } // namespace
 
-SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
+SolveResult RegexSolver::checkSat(Re R, const SolveOptions &OptsIn) {
   Stopwatch Timer;
   SolveResult Result;
-  Result.Stats.Engine = Opts.Strategy == SearchStrategy::Dfs
+  Result.Stats.Engine = OptsIn.Strategy == SearchStrategy::Dfs
                             ? SolveEngine::DerivDfs
                             : SolveEngine::DerivBfs;
   obs::ScopedSpan Span("checkSat", "solver");
@@ -44,6 +44,22 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
   CacheBefore += T.stats();
   CacheBefore += Engine.stats();
   const size_t NodesBefore = M.numNodes() + T.numNodes();
+
+  // Pre-solve static analysis (DESIGN.md §14): features feed the recorded
+  // prediction below and the admission-control cap. Memoized per node, so
+  // repeat queries cost one dense-vector lookup.
+  Stopwatch AnalysisTimer;
+  const analysis::RegexFeatures Feat = Analyzer.analyze(R);
+  const int64_t AnalysisUs = AnalysisTimer.elapsedUs();
+
+  // Admission control: a query the analyzer classifies as Adversarial and
+  // that arrives without its own state budget gets a hard cap before it can
+  // burn arena memory; everything else keeps the caller's budget.
+  SolveOptions Opts = OptsIn;
+  if (Feat.Class == analysis::ReClass::Adversarial && Opts.MaxStates == 0) {
+    Opts.MaxStates = AdmissionMaxStates;
+    SBD_OBS_INC(AdmissionFlagged);
+  }
 
   size_t Steps = 0;
   uint64_t TimeoutChecks = 0;
@@ -77,6 +93,10 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
     St.MemoHits = CacheDiff.MemoHits;
     St.MemoMisses = CacheDiff.MemoMisses;
     St.ArenaNodes = M.numNodes() + T.numNodes() - NodesBefore;
+    St.PredictedClass = analysis::reClassName(Feat.Class);
+    St.RiskScore = Feat.Risk;
+    St.PredictedStates = analysis::predictedStateBound(Feat);
+    St.AnalysisUs = AnalysisUs;
 #if SBD_OBS
     obs::MetricShard Diff = obs::tlsShard().since(ShardBefore);
     St.DerivativeCalls = Diff.get(obs::Counter::DerivativeCalls);
@@ -93,6 +113,8 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
     St.CacheProbeUs =
         static_cast<int64_t>(Diff.get(obs::Counter::CacheProbeTimeUs));
     St.ScanUs = static_cast<int64_t>(Diff.get(obs::Counter::ScanTimeUs));
+    St.AnalysisNodesVisited = Diff.get(obs::Counter::AnalysisNodesVisited);
+    St.AnalysisCacheHits = Diff.get(obs::Counter::AnalysisCacheHits);
     // MintermUs is informational only: computeMinterms runs *inside* the
     // derive/DNF regions, so it is excluded from the residual.
     int64_t Attributed = St.DeriveUs + St.DnfUs + St.CacheProbeUs;
@@ -128,6 +150,7 @@ SolveResult RegexSolver::checkSat(Re R, const SolveOptions &Opts) {
       A.Frontier = Frontier.Samples;
       A.TopCounters = obs::topCounterDeltas(Diff);
       A.StatsJson = St.json();
+      A.FeaturesJson = Feat.json();
       obs::SlowQueryLog::global().capture(std::move(A));
     }
 #endif

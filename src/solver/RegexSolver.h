@@ -22,6 +22,7 @@
 #ifndef SBD_SOLVER_REGEXSOLVER_H
 #define SBD_SOLVER_REGEXSOLVER_H
 
+#include "analysis/RegexAnalyzer.h"
 #include "core/CachedMatcher.h"
 #include "core/Derivatives.h"
 #include "solver/DerivativeGraph.h"
@@ -109,11 +110,20 @@ public:
   /// The regex arena all inputs must come from.
   RegexManager &regexManager() { return M; }
 
+  /// The pre-solve static analyzer (shared with the portfolio router so a
+  /// query's features are folded exactly once per arena).
+  analysis::RegexAnalyzer &analyzer() { return Analyzer; }
+
+  /// Admission-control state cap applied to Adversarial-classified queries
+  /// that arrive without their own MaxStates budget (DESIGN.md §14).
+  static constexpr size_t AdmissionMaxStates = 1 << 16;
+
 private:
   DerivativeEngine &Engine;
   RegexManager &M;
   TrManager &T;
   DerivativeGraph Graph;
+  analysis::RegexAnalyzer Analyzer{M};
 
   /// matchesWord()'s per-regex matcher pool. Linear scan: the pool is tiny
   /// and the hit path is one id compare per entry.

@@ -89,6 +89,8 @@ std::string SlowQueryArtifact::json() const {
   }
   Out += "}, \"stats\": ";
   Out += StatsJson.empty() ? "{}" : StatsJson;
+  Out += ", \"features\": ";
+  Out += FeaturesJson.empty() ? "{}" : FeaturesJson;
   Out += '}';
   return Out;
 }

@@ -87,6 +87,9 @@ struct SlowQueryArtifact {
   /// Largest per-query counter deltas, name → value, descending.
   std::vector<std::pair<std::string, uint64_t>> TopCounters;
   std::string StatsJson; ///< SolveStats::json() of the query
+  /// RegexFeatures::json() of the analyzed pattern — the structural shape
+  /// that makes triage possible without re-parsing the pattern.
+  std::string FeaturesJson;
 
   /// One-line JSON object (the JSONL record format).
   std::string json() const;

@@ -152,6 +152,16 @@ struct SolveStats {
   /// Engine attribution for per-engine phase tables.
   SolveEngine Engine = SolveEngine::DerivBfs;
 
+  // Pre-solve analyzer predictions (analysis/RegexAnalyzer.h), recorded so
+  // every solve audits the analyzer: predicted class/cost vs. the actual
+  // states/time above. Empty/zero when the query skipped analysis.
+  const char *PredictedClass = ""; ///< reClassName() static string
+  uint32_t RiskScore = 0;          ///< analyzer risk score [0,100]
+  uint64_t PredictedStates = 0;    ///< coarse upper bound used for routing
+  int64_t AnalysisUs = 0;          ///< time inside RegexAnalyzer::analyze
+  uint64_t AnalysisNodesVisited = 0; ///< DAG nodes folded for this query
+  uint64_t AnalysisCacheHits = 0;    ///< analyze() memo hits for this query
+
   SolveStats &operator+=(const SolveStats &O) {
     DerivativeCalls += O.DerivativeCalls;
     DnfCalls += O.DnfCalls;
@@ -177,6 +187,14 @@ struct SolveStats {
     ScanUs += O.ScanUs;
     SearchUs += O.SearchUs;
     TotalUs += O.TotalUs;
+    AnalysisUs += O.AnalysisUs;
+    AnalysisNodesVisited += O.AnalysisNodesVisited;
+    AnalysisCacheHits += O.AnalysisCacheHits;
+    if (PredictedClass[0] == '\0') {
+      PredictedClass = O.PredictedClass;
+      RiskScore = O.RiskScore;
+      PredictedStates = O.PredictedStates;
+    }
     // Aggregates keep the first-seen engine; callers that mix engines
     // should bucket by Engine before summing (BatchSolver does).
     return *this;
@@ -185,7 +203,7 @@ struct SolveStats {
   /// Flat JSON object with stable snake_case keys (used by --stats-json
   /// and `(get-info :statistics)`).
   std::string json() const {
-    char Buf[1536];
+    char Buf[2048];
     std::snprintf(
         Buf, sizeof(Buf),
         "{\"engine\": \"%s\", "
@@ -200,7 +218,10 @@ struct SolveStats {
         "\"parse_us\": %lld, \"minterm_us\": %lld, "
         "\"derive_us\": %lld, \"dnf_us\": %lld, "
         "\"cache_probe_us\": %lld, \"scan_us\": %lld, "
-        "\"search_us\": %lld, \"total_us\": %lld}",
+        "\"search_us\": %lld, \"total_us\": %lld, "
+        "\"predicted_class\": \"%s\", \"risk_score\": %u, "
+        "\"predicted_states\": %llu, \"analysis_us\": %lld, "
+        "\"analysis_nodes_visited\": %llu, \"analysis_cache_hits\": %llu}",
         solveEngineName(Engine),
         static_cast<unsigned long long>(DerivativeCalls),
         static_cast<unsigned long long>(DnfCalls),
@@ -221,7 +242,12 @@ struct SolveStats {
         static_cast<long long>(ParseUs), static_cast<long long>(MintermUs),
         static_cast<long long>(DeriveUs), static_cast<long long>(DnfUs),
         static_cast<long long>(CacheProbeUs), static_cast<long long>(ScanUs),
-        static_cast<long long>(SearchUs), static_cast<long long>(TotalUs));
+        static_cast<long long>(SearchUs), static_cast<long long>(TotalUs),
+        PredictedClass, RiskScore,
+        static_cast<unsigned long long>(PredictedStates),
+        static_cast<long long>(AnalysisUs),
+        static_cast<unsigned long long>(AnalysisNodesVisited),
+        static_cast<unsigned long long>(AnalysisCacheHits));
     return Buf;
   }
 };

@@ -78,6 +78,12 @@ const char *sbd::obs::counterName(Counter C) {
     return "slow_queries_captured";
   case Counter::SlowQueriesDropped:
     return "slow_queries_dropped";
+  case Counter::AnalysisNodesVisited:
+    return "analysis_nodes_visited";
+  case Counter::AnalysisCacheHits:
+    return "analysis_cache_hits";
+  case Counter::AdmissionFlagged:
+    return "admission_flagged";
   case Counter::ParseTimeUs:
     return "parse_time_us";
   case Counter::MintermTimeUs:

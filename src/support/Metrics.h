@@ -106,6 +106,11 @@ enum class Counter : uint32_t {
   TraceEventsDropped,  ///< span events dropped by the per-thread buffer cap
   SlowQueriesCaptured, ///< explain artifacts captured by the slow-query log
   SlowQueriesDropped,  ///< artifacts evicted from the bounded capture ring
+  // Pre-solve static analysis + portfolio routing (analysis/RegexAnalyzer.h,
+  // portfolio/Portfolio.h).
+  AnalysisNodesVisited, ///< DAG nodes folded by RegexAnalyzer (memo misses)
+  AnalysisCacheHits,    ///< analyze() requests answered from the node memo
+  AdmissionFlagged,     ///< Adversarial-class queries capped by admission
   // Phase timings, microseconds (counters so they shard/merge like the rest).
   ParseTimeUs,
   MintermTimeUs,

@@ -11,7 +11,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "solver/BatchSolver.h"
+#include "portfolio/BatchSolver.h"
 
 #include "core/Derivatives.h"
 #include "re/RegexParser.h"
@@ -255,7 +255,11 @@ TEST(BatchSolverTest, PerQueryStatsArePopulated) {
       Batch.solveAll(toQueries({"a{3}b*", "(ab)+&(ba)+"}));
   ASSERT_EQ(Results.size(), 2u);
   for (const BatchResult &R : Results) {
-    EXPECT_GT(R.Result.Stats.DerivativeCalls, 0u);
+    // Derivative counters only tick on derivative-engine routes; the
+    // portfolio may send small positive patterns to Antimirov.
+    if (R.Result.Stats.Engine == SolveEngine::DerivBfs ||
+        R.Result.Stats.Engine == SolveEngine::DerivDfs)
+      EXPECT_GT(R.Result.Stats.DerivativeCalls, 0u);
     EXPECT_GT(R.Result.Stats.SolverSteps, 0u);
     EXPECT_GE(R.Result.Stats.ParseUs, 0);
     EXPECT_GE(R.Result.Stats.TotalUs, 0);

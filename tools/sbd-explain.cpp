@@ -156,6 +156,28 @@ void printPhaseProfile(const JsonValue &Stats, double TotalUs) {
   std::printf("  arena nodes allocated: %.0f\n", getNumber(Stats, "arena_nodes"));
 }
 
+/// Pre-solve analyzer verdict captured in the artifact (features key,
+/// embedded since the analyzer landed — older artifacts print nothing).
+void printFeatures(const JsonValue &F) {
+  std::printf("pre-solve analysis:\n");
+  std::printf("  class=%s risk=%.0f tree=%.0f dag=%.0f star-height=%.0f "
+              "bool-depth=%.0f compl-depth=%.0f\n",
+              getString(F, "class").c_str(), getNumber(F, "risk"),
+              getNumber(F, "tree_size"), getNumber(F, "dag_size"),
+              getNumber(F, "star_height"), getNumber(F, "boolean_depth"),
+              getNumber(F, "compl_depth"));
+  std::printf("  counter-blowup<=%.0f distinct-preds=%.0f minterms<=%.0f "
+              "nullable=%s\n",
+              getNumber(F, "counter_blowup"), getNumber(F, "distinct_preds"),
+              getNumber(F, "minterm_bound"),
+              [&] {
+                const JsonValue *V = F.get("nullable");
+                return V && V->kind() == JsonValue::Kind::Bool && V->asBool();
+              }()
+                  ? "yes"
+                  : "no");
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -278,6 +300,9 @@ int main(int Argc, char **Argv) {
       Trace.push_back(V.asNumber());
   printFrontierCurve(Trace,
                      static_cast<uint64_t>(getNumber(R, "frontier_stride")));
+
+  if (const JsonValue *F = R.get("features"); F && F->isObject())
+    printFeatures(*F);
 
   if (const JsonValue *Stats = R.get("stats"); Stats && Stats->isObject())
     printPhaseProfile(*Stats, getNumber(R, "total_us"));
