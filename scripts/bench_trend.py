@@ -121,6 +121,8 @@ def main(argv=None):
                           collect("corpus_direct_ms", snaps))
     lines += series_table("Corpus solve latency", "us / count", labels,
                           latency_rows(snaps))
+    lines += series_table("Resident session (cold/warm replay)", "mixed",
+                          labels, collect("session", snaps))
     lines += series_table("Micro benchmarks", "ns", labels,
                           collect("micro_ns", snaps))
     lines += series_table("Counters", "count", labels,
@@ -143,6 +145,8 @@ def main(argv=None):
             "corpus_counters": {n: dict(zip(labels, vs))
                                 for n, vs in collect("corpus_counters",
                                                      snaps)},
+            "session": {n: dict(zip(labels, vs))
+                        for n, vs in collect("session", snaps)},
         }
         with open(args.json, "w") as f:
             json.dump(doc, f, indent=2, sort_keys=True)

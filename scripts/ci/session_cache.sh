@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Resident-session verdict-cache gate (DESIGN.md §15): exports the SMT
+# corpus, concatenates it into one (reset)-separated replay stream, and
+# runs it through sbd-server twice —
+#
+#   pass 1 (cold): empty cache, --cache-save snapshots the verdicts;
+#   pass 2 (warm): --cache-load restores them, every check should hit.
+#
+# Gates (all hard failures):
+#   - the two passes print identical sat/unsat/unknown sequences
+#     (zero verdict differences cached-vs-direct);
+#   - pass-2 hit rate >= 90% of its checks;
+#   - pass-2 wall-clock <= 0.5x pass-1 (the >= 2x warm speedup the cache
+#     exists for — measured end-to-end through the server, parse included);
+#   - zero revalidation failures (a poisoned persisted entry would
+#     surface here).
+#
+# Environment:
+#   SBD_SESSION_SCALE   corpus scale (default 0.02)
+#   SBD_SESSION_SEED    corpus seed (default 2021)
+#
+# Usage: session_cache.sh [build-dir]
+. "$(dirname "$0")/common.sh"
+
+require python3 "needed to evaluate the stats JSON"
+
+BUILD_DIR="${1:-build-release}"
+SCALE="${SBD_SESSION_SCALE:-0.02}"
+SEED="${SBD_SESSION_SEED:-2021}"
+WORK="$(mktemp -d /tmp/sbd-session-cache.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+# The gate times a warm-vs-cold ratio, so measure an optimized build.
+sbd_configure "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+sbd_build "$BUILD_DIR" sbd-server export_benchmarks
+SERVER="$BUILD_DIR/tools/sbd-server"
+EXPORT="$BUILD_DIR/examples/export_benchmarks"
+[ -x "$SERVER" ] && [ -x "$EXPORT" ] || {
+  echo "error: sbd-server/export_benchmarks were not built" >&2
+  exit 1
+}
+
+echo "== session-cache: exporting corpus (scale=$SCALE seed=$SEED) =="
+"$EXPORT" "$WORK/corpus" "$SCALE" "$SEED"
+
+# One replay stream: every instance script, separated by (reset) so the
+# session's declarations don't collide. sort keeps the order stable across
+# filesystems; the stream is identical for both passes.
+STREAM="$WORK/replay.smt2"
+find "$WORK/corpus" -name '*.smt2' | sort | while read -r f; do
+  cat "$f"
+  echo "(reset)"
+done > "$STREAM"
+CHECKS=$(grep -c "^(check-sat)" "$STREAM")
+[ "$CHECKS" -gt 0 ] || {
+  echo "error: exported corpus contains no check-sat commands" >&2
+  exit 1
+}
+echo "replay stream: $CHECKS checks"
+
+run_pass() { # run_pass <label> <extra flags...>
+  local label="$1"
+  shift
+  "$SERVER" --stats-json "$WORK/$label.json" "$@" \
+    < "$STREAM" > "$WORK/$label.out" 2> "$WORK/$label.err"
+}
+
+echo "== pass 1: cold (cache empty, saving snapshot) =="
+run_pass cold --cache-save "$WORK/verdicts.jsonl"
+echo "== pass 2: warm (snapshot preloaded) =="
+run_pass warm --cache-load "$WORK/verdicts.jsonl"
+
+# Verdict equality: the protocol output of the two passes must be
+# byte-identical — same verdicts, same order.
+if ! cmp -s "$WORK/cold.out" "$WORK/warm.out"; then
+  echo "error: warm pass verdicts differ from cold pass" >&2
+  diff "$WORK/cold.out" "$WORK/warm.out" | head -20 >&2
+  exit 1
+fi
+
+python3 - "$WORK/cold.json" "$WORK/warm.json" << 'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    cold = json.load(f)
+with open(sys.argv[2]) as f:
+    warm = json.load(f)
+
+failures = []
+checks = warm.get("checks", 0)
+cache = warm.get("cache", {})
+hits = cache.get("hits", 0)
+hit_rate = hits / checks if checks else 0.0
+if checks <= 0:
+    failures.append("warm pass ran no checks")
+if hit_rate < 0.90:
+    failures.append(
+        f"warm hit rate {hit_rate:.1%} < 90% ({hits}/{checks})")
+for doc, label in ((cold, "cold"), (warm, "warm")):
+    rf = doc.get("cache", {}).get("revalidation_failures", 0)
+    if rf:
+        failures.append(f"{label} pass had {rf} revalidation failures")
+
+cold_us = cold.get("wall_us", 0)
+warm_us = warm.get("wall_us", 0)
+if cold_us <= 0:
+    failures.append("cold pass recorded no wall time")
+elif warm_us > 0.5 * cold_us:
+    failures.append(
+        f"warm wall {warm_us}us > 0.5x cold {cold_us}us "
+        f"({warm_us / cold_us:.2f}x)")
+
+if failures:
+    print("session-cache: FAILED")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print(f"session-cache: ok ({checks} checks, hit rate {hit_rate:.1%}, "
+      f"warm {warm_us}us vs cold {cold_us}us = "
+      f"{cold_us / warm_us:.1f}x speedup)")
+EOF

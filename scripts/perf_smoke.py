@@ -40,7 +40,12 @@ Beyond the ratio checks, the guard asserts on every compare that
     at --quick scale;
   - the compiled serving path beats the lazy cached walk by >= GATE_RATIO
     on the 1KiB throughput series (the promotion payoff the compiled
-    subsystem exists for).
+    subsystem exists for);
+  - the resident-session corpus replay (DESIGN.md section 15) served
+    verdict-cache hits, its warm pass was no slower than the cold one, and
+    every warm verdict matched its cold verdict (the wall-clock *speedup*
+    gate lives in scripts/ci/session_cache.sh, which measures the server
+    end-to-end).
 """
 
 import json
@@ -120,7 +125,8 @@ def load_corpus(path):
     groups = {g["name"]: float(g["direct_ms"]) for g in doc.get("groups", [])}
     counters = doc.get("counters", {})
     histograms = doc.get("histograms", {})
-    return groups, counters, histograms
+    session = doc.get("session", {})
+    return groups, counters, histograms, session
 
 
 def snapshot(micro_path, corpus_path, out_path):
@@ -131,7 +137,12 @@ def snapshot(micro_path, corpus_path, out_path):
         print(f"perf-smoke: refusing snapshot: compiled payoff {shown} "
               f"< {GATE_RATIO}x on {COMPILED_SERIES}")
         return 1
-    groups, counters, histograms = load_corpus(corpus_path)
+    groups, counters, histograms, session = load_corpus(corpus_path)
+    if session.get("cache_hits", 0) <= 0:
+        print("perf-smoke: refusing snapshot: the session replay recorded "
+              "no verdict-cache hits — a baseline without a working cache "
+              "would make the warm-pass gate vacuous")
+        return 1
     latency = histograms.get("solve_latency_us", {})
     doc = {
         "tolerance": TOLERANCE,
@@ -143,8 +154,20 @@ def snapshot(micro_path, corpus_path, out_path):
             k: counters[k]
             for k in ("dense_row_hits", "dfa_states_built", "dfa_evictions",
                       "alphabet_minterms", "analysis_nodes_visited",
-                      "analysis_cache_hits")
+                      "analysis_cache_hits", "verdict_cache_hits",
+                      "verdict_cache_misses", "verdict_cache_inserts",
+                      "session_checks")
             if k in counters
+        },
+        # Cold/warm latency split of the resident-session corpus replay
+        # (DESIGN.md section 15): the verdict cache's measured payoff.
+        "session": {
+            k: session[k]
+            for k in ("instances", "mismatches", "cold_ms", "warm_ms",
+                      "cold_p50_us", "cold_p90_us", "cold_p99_us",
+                      "warm_p50_us", "warm_p90_us", "warm_p99_us",
+                      "cache_hits", "cache_misses", "cache_inserts")
+            if k in session
         },
         # Latency distribution of the corpus run (bench_trend.py plots the
         # percentile drift across PR snapshots).
@@ -187,7 +210,7 @@ def compare(baseline_path, micro_path, corpus_path):
                 f"  micro {name}: {cur_ns:.0f}ns vs baseline "
                 f"{base_ns:.0f}ns ({cur_ns / base_ns:.2f}x > {tol}x)")
 
-    cur_groups, cur_counters, cur_hists = load_corpus(corpus_path)
+    cur_groups, cur_counters, cur_hists, cur_session = load_corpus(corpus_path)
     for name, base_ms in sorted(base.get("corpus_direct_ms", {}).items()):
         cur_ms = cur_groups.get(name)
         if cur_ms is None or base_ms <= 0.5:  # sub-ms groups are noise
@@ -224,6 +247,24 @@ def compare(baseline_path, micro_path, corpus_path):
                 "recorded no samples (built with -DSBD_OBS=0, or the "
                 "recording sites regressed)")
 
+    # The resident-session replay (DESIGN.md section 15): the verdict cache
+    # must actually serve hits, the warm pass must not cost more than the
+    # cold one, and warm verdicts must be identical to cold verdicts.
+    if cur_session.get("cache_hits", 0) <= 0:
+        failures.append(
+            "  session cache_hits == 0: the verdict cache never served a "
+            "hit across the warm corpus replay")
+    if cur_session.get("mismatches", 0) > 0:
+        failures.append(
+            f"  session mismatches == {cur_session['mismatches']}: a warm "
+            "(cached) verdict differed from the cold solve")
+    cold_ms = cur_session.get("cold_ms", 0)
+    warm_ms = cur_session.get("warm_ms", 0)
+    if cold_ms > 0 and warm_ms > cold_ms:
+        failures.append(
+            f"  session warm pass slower than cold ({warm_ms:.1f}ms > "
+            f"{cold_ms:.1f}ms): cache hits are not paying for themselves")
+
     ratio = payoff_ratio(cur_micro)
     if ratio is None:
         failures.append(
@@ -241,10 +282,12 @@ def compare(baseline_path, micro_path, corpus_path):
               "'scripts/check.sh --quick'.")
         return 1
     lat = cur_hists.get("solve_latency_us", {})
+    speedup = cold_ms / warm_ms if warm_ms > 0 else 0.0
     print(f"perf-smoke: ok ({compared} series within {tol}x, "
           f"dense_row_hits={hits}, compiled payoff {ratio:.2f}x, "
           f"latency p50/p99 {lat.get('p50', 0)}/{lat.get('p99', 0)}us "
-          f"over {lat.get('count', 0)} queries)")
+          f"over {lat.get('count', 0)} queries, session warm speedup "
+          f"{speedup:.1f}x on {cur_session.get('cache_hits', 0)} cache hits)")
     return 0
 
 

@@ -2,6 +2,7 @@
 
 #include "fuzz/Oracle.h"
 
+#include "portfolio/Portfolio.h"
 #include "re/RegexParser.h"
 #include "support/Metrics.h"
 #include "support/Stopwatch.h"
@@ -31,6 +32,8 @@ const char *sbd::fuzz::oracleLawName(OracleLaw L) {
     return "analyzer_prefix";
   case OracleLaw::AnalyzerStability:
     return "analyzer_stability";
+  case OracleLaw::CacheConsistency:
+    return "cache_consistency";
   }
   return "?";
 }
@@ -245,6 +248,63 @@ void DifferentialOracle::checkSatVerdicts(std::vector<Discrepancy> &Out) {
   }
   ConsensusUnsat = DefiniteCount != 0 && AllUnsat &&
                    FirstDefinite->Res.isUnsat();
+
+  checkVerdictCache(Out);
+}
+
+void DifferentialOracle::checkVerdictCache(std::vector<Discrepancy> &Out) {
+  // The law runs the production path: a portfolio router with the cache
+  // attached, exactly as SmtSession/sbd-server wire it.
+  SolveOptions Bfs;
+  Bfs.MaxStates = Opts.SolverMaxStates;
+  if (cache::canonicalVerdictKey(M, Cur, Bfs).empty())
+    return; // print over the key cap: the cache is (correctly) skipped
+  VCache.clear();
+  portfolio::PortfolioSolver P(Solver);
+  P.setVerdictCache(&VCache);
+
+  Solver.resetGraph();
+  SolveResult Cold = P.checkSat(Cur, Bfs);
+  if (!Cold.isSat() && !Cold.isUnsat())
+    return; // indefinite verdicts are never cached
+
+  auto disagree = [&](const char *Phase, const SolveResult &Got) {
+    SBD_OBS_INC(FuzzDiscrepancies);
+    Out.push_back(makeDiscrepancy(
+        OracleLaw::CacheConsistency, Got.Witness, "verdict_cache",
+        std::string(Phase) + ": got " + statusName(Got.Status) +
+            ", cold was " + statusName(Cold.Status)));
+  };
+
+  // Same query again: must be served from the cache (hit counter +1) with
+  // the identical verdict and witness.
+  uint64_t HitsBefore = VCache.counters().Hits;
+  SolveResult Warm = P.checkSat(Cur, Bfs);
+  ++Checks;
+  SBD_OBS_INC(FuzzChecks);
+  if (Warm.Status != Cold.Status || Warm.Witness != Cold.Witness) {
+    disagree("warm hit", Warm);
+    return;
+  }
+  if (VCache.counters().Hits != HitsBefore + 1 ||
+      Warm.Stats.Engine != SolveEngine::VerdictCache) {
+    SBD_OBS_INC(FuzzDiscrepancies);
+    Out.push_back(makeDiscrepancy(OracleLaw::CacheConsistency, {},
+                                  "verdict_cache",
+                                  "second identical query in a session was "
+                                  "not served from the cache"));
+    return;
+  }
+
+  // Clearing the cache mid-session must reproduce the cold verdict
+  // bit-identically (solver determinism is what makes caching sound).
+  VCache.clear();
+  Solver.resetGraph();
+  SolveResult Cold2 = P.checkSat(Cur, Bfs);
+  ++Checks;
+  SBD_OBS_INC(FuzzChecks);
+  if (Cold2.Status != Cold.Status || Cold2.Witness != Cold.Witness)
+    disagree("post-clear re-solve", Cold2);
 }
 
 

@@ -45,6 +45,7 @@
 
 #include "analysis/RegexAnalyzer.h"
 #include "automata/EagerSolver.h"
+#include "cache/VerdictCache.h"
 #include "automata/Safa.h"
 #include "automata/Sbfa.h"
 #include "baselines/AntimirovSolver.h"
@@ -73,6 +74,8 @@ enum class OracleLaw : uint8_t {
   WitnessValid,  ///< a Sat witness was rejected by the reference matcher
   AnalyzerPrefix,    ///< an accepted word violated the analyzed literal prefix
   AnalyzerStability, ///< features changed across a print/reparse rebuild
+  CacheConsistency,  ///< verdict-cache hit or post-clear re-solve diverged
+                     ///< from the cold verdict (DESIGN.md §15)
 };
 
 /// Stable snake_case name for report output.
@@ -221,6 +224,11 @@ private:
                               const std::string &Engine,
                               std::string Detail) const;
   void checkSatVerdicts(std::vector<Discrepancy> &Out);
+  /// Verdict-cache consistency law (DESIGN.md §15): solving Cur twice
+  /// through a cache-attached portfolio must hit the cache the second time
+  /// with an identical verdict+witness, and clearing the cache must
+  /// reproduce the cold verdict bit-identically.
+  void checkVerdictCache(std::vector<Discrepancy> &Out);
 
   DerivativeEngine &Eng;
   RegexManager &M;
@@ -246,6 +254,9 @@ private:
   /// baseline capability gates and the analyzer-soundness laws.
   analysis::RegexFeatures CurFeat;
   bool ConsensusUnsat = false;
+  /// Private cache for the cache-consistency law; cleared and refilled per
+  /// regex so counter deltas are exact.
+  cache::VerdictCache VCache;
 
   // Accumulators.
   int64_t EngineUs[EngCount] = {};

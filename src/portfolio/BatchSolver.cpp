@@ -100,7 +100,7 @@ namespace {
 /// Buckets every result's SolveStats by the engine that produced it.
 std::vector<EnginePhaseRow>
 bucketByEngine(const std::vector<BatchResult> &Results) {
-  constexpr size_t NumEngines = 5; // SolveEngine enumerator count
+  constexpr size_t NumEngines = 6; // SolveEngine enumerator count
   EnginePhaseRow Rows[NumEngines];
   for (size_t I = 0; I != NumEngines; ++I)
     Rows[I].Engine = static_cast<SolveEngine>(I);

@@ -50,11 +50,47 @@ RouteDecision portfolio::planRoute(const analysis::RegexFeatures &F,
 }
 
 SolveResult PortfolioSolver::checkSat(Re R, const SolveOptions &Opts) {
+  // Cross-query verdict cache (DESIGN.md §15). The probe runs before the
+  // analyzer: a hit skips analysis, routing, and solving entirely. An
+  // empty key means the canonical print exceeded the key cap — skip.
+  std::string CacheKey;
+  if (Cache) {
+    Stopwatch HitTimer;
+    CacheKey = cache::canonicalVerdictKey(M, R, Opts);
+    if (std::optional<cache::CachedVerdict> Hit = Cache->lookup(CacheKey)) {
+      SolveResult Out;
+      Out.Stats.Engine = SolveEngine::VerdictCache;
+      if (Hit->Sat) {
+        // The cache is untrusted: replay the witness through the reference
+        // matcher before serving. A rejection is a hard error — the entry
+        // (or the matcher) is wrong, and re-solving would paper over it.
+        if (!S.matchesWord(R, Hit->Witness)) {
+          Cache->noteRevalidationFailure(CacheKey);
+          Out.Status = SolveStatus::Unknown;
+          Out.Stop = StopReason::CacheRevalidationFailed;
+          Out.Note = "cached witness failed reference-matcher revalidation";
+          Out.TimeUs = HitTimer.elapsedUs();
+          Out.Stats.TotalUs = Out.TimeUs;
+          return Out;
+        }
+        Out.Status = SolveStatus::Sat;
+        Out.Witness = Hit->Witness;
+      } else {
+        Out.Status = SolveStatus::Unsat;
+      }
+      Out.TimeUs = HitTimer.elapsedUs();
+      Out.Stats.TotalUs = Out.TimeUs;
+      return Out;
+    }
+  }
+
   Stopwatch AnalysisTimer;
   const analysis::RegexFeatures Feat = S.analyzer().analyze(R);
   const int64_t AnalysisUs = AnalysisTimer.elapsedUs();
   RouteDecision D = planRoute(Feat, Opts);
 
+  SolveResult Out;
+  bool Solved = false;
   if (D.Engine == SolveEngine::Antimirov) {
     SolveResult R1 = Anti.solve(R, Opts);
     if (R1.Status == SolveStatus::Sat || R1.Status == SolveStatus::Unsat) {
@@ -62,12 +98,26 @@ SolveResult PortfolioSolver::checkSat(Re R, const SolveOptions &Opts) {
       R1.Stats.RiskScore = Feat.Risk;
       R1.Stats.PredictedStates = analysis::predictedStateBound(Feat);
       R1.Stats.AnalysisUs = AnalysisUs;
-      return R1;
+      Out = std::move(R1);
+      Solved = true;
     }
     // Non-answer (budget, timeout, fragment): the derivative engine is the
     // completeness backstop, so routing can never lose a verdict.
   }
-  return S.checkSat(R, Opts);
+  if (!Solved)
+    Out = S.checkSat(R, Opts);
+
+  // Memoize definite verdicts only: Unknown/Unsupported depend on budgets
+  // and fragment coverage, not on the language, so they must never be
+  // served cross-query.
+  if (Cache && !CacheKey.empty() &&
+      (Out.Status == SolveStatus::Sat || Out.Status == SolveStatus::Unsat)) {
+    cache::CachedVerdict V;
+    V.Sat = Out.isSat();
+    V.Witness = Out.Witness;
+    Cache->insert(CacheKey, std::move(V));
+  }
+  return Out;
 }
 
 SolveResult

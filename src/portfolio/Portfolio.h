@@ -27,6 +27,7 @@
 
 #include "analysis/RegexAnalyzer.h"
 #include "baselines/AntimirovSolver.h"
+#include "cache/VerdictCache.h"
 #include "solver/RegexSolver.h"
 
 namespace sbd {
@@ -66,10 +67,23 @@ public:
   /// The wrapped derivative solver (shared arena, matcher pool, analyzer).
   RegexSolver &solver() { return S; }
 
+  /// Attaches (or detaches, with nullptr) a cross-query verdict cache.
+  /// Not owned; the cache may outlive this solver and be shared across
+  /// solver stacks — its keys are canonical prints, not arena pointers.
+  /// When attached, checkSat probes it before routing and memoizes every
+  /// definite verdict. Sat hits are revalidated through the reference
+  /// matcher; a failed revalidation is a hard error
+  /// (StopReason::CacheRevalidationFailed), never a silent re-solve.
+  void setVerdictCache(cache::VerdictCache *C) { Cache = C; }
+
+  /// The attached verdict cache, or nullptr.
+  cache::VerdictCache *verdictCache() { return Cache; }
+
 private:
   RegexSolver &S;
   RegexManager &M;
   AntimirovSolver Anti;
+  cache::VerdictCache *Cache = nullptr;
 };
 
 } // namespace portfolio

@@ -2,6 +2,7 @@
 
 #include "smt/SmtSolver.h"
 
+#include "cache/VerdictCache.h"
 #include "portfolio/Portfolio.h"
 #include "re/SmtPrinter.h"
 #include "support/Exposition.h"
@@ -24,174 +25,49 @@ struct Atom {
   Re Regex;
 };
 
-/// The per-script compilation and solving context.
-class Script {
+/// SMT-LIB string literal with `"` doubled.
+std::string smtQuote(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    Out += C;
+    if (C == '"')
+      Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+/// The compilation and solving context shared by script mode
+/// (SmtSolver::solveScript) and session mode (SmtSession). Declarations,
+/// the atom table, and the scoped assertion frames live here; errors are
+/// per-command (hasError()/takeError()) so a session survives them.
+class ScriptContext {
 public:
-  Script(RegexSolver &S, const SolveOptions &Options)
-      : Solver(S), Port(S), M(S.regexManager()), Opts(Options) {}
-
-  SmtResult run(const std::string &Text) {
-    SExprParseResult Parsed = parseSExprs(Text);
-    if (!Parsed.Ok) {
-      Result.Status = SolveStatus::Unsupported;
-      Result.Stop = StopReason::ParseError;
-      Result.Note = "parse error: " + Parsed.Error;
-      return Result;
-    }
-    std::vector<BE> Assertions;
-    bool Solved = false;
-    for (const SExpr &Form : Parsed.Forms) {
-      if (Aborted)
-        return Result;
-      if (!Form.isList() || Form.Kids.empty())
-        continue;
-      const SExpr &Head = Form.Kids[0];
-      if (Head.isSymbol("set-info")) {
-        handleSetInfo(Form);
-        continue;
-      }
-      if (Head.isSymbol("get-info")) {
-        // (get-info :statistics) — rendered from the work done so far, so
-        // it must follow the check-sat it reports on.
-        if (Form.Kids.size() == 2 && Form.Kids[1].isSymbol(":statistics"))
-          Result.Statistics = renderStatistics();
-        continue;
-      }
-      // After the solve, remaining forms are only scanned for get-info
-      // (handled above) — they must not disturb the verdict.
-      if (Solved)
-        continue;
-      if (Head.isSymbol("declare-fun") || Head.isSymbol("declare-const")) {
-        handleDeclare(Form);
-        continue;
-      }
-      if (Head.isSymbol("assert")) {
-        if (Form.Kids.size() != 2)
-          return unsupported("malformed assert");
-        Assertions.push_back(compileBool(Form.Kids[1], /*Positive=*/true));
-        continue;
-      }
-      if (Head.isSymbol("check-sat")) {
-        // Solve once; keep scanning so a trailing (get-info :statistics)
-        // can report on this solve.
-        if (!Aborted && !Solved) {
-          solve(Assertions);
-          Solved = true;
-        }
-        continue;
-      }
-      // set-logic, set-option, get-model, get-value, echo, exit: no-ops.
-      if (Head.isSymbol("set-logic") || Head.isSymbol("set-option") ||
-          Head.isSymbol("get-model") || Head.isSymbol("get-value") ||
-          Head.isSymbol("echo") || Head.isSymbol("exit"))
-        continue;
-      if (Head.isSymbol("push") || Head.isSymbol("pop"))
-        return unsupported("incremental scripts are not supported");
-    }
-    // Script without check-sat: solve what we have.
-    if (!Aborted && !Solved)
-      solve(Assertions);
-    return Result;
+  ScriptContext(RegexSolver &S, portfolio::PortfolioSolver &P,
+                const SolveOptions &Options)
+      : Solver(S), Port(P), M(S.regexManager()), Opts(Options) {
+    FrameAsserts.emplace_back();
   }
 
-private:
-  RegexSolver &Solver;
-  /// Analyzer-driven engine selection for every membership sub-query
-  /// (portfolio/Portfolio.h); Policy checks inherit the routing through
-  /// here as well.
-  portfolio::PortfolioSolver Port;
-  RegexManager &M;
-  SolveOptions Opts;
-  BoolExprManager B;
-  SmtResult Result;
-  bool Aborted = false;
-  uint64_t RegexQueries = 0;
+  /// --- Command API ---------------------------------------------------------
 
-  std::set<std::string> StringVars;
-  std::vector<Atom> Atoms;
-  std::map<std::pair<std::string, uint32_t>, uint32_t> AtomIndex;
-
-  BE unsupportedExpr(const std::string &Why) {
-    unsupported(Why);
-    return B.falseExpr();
+  bool hasError() const { return HasErr; }
+  std::string takeError() {
+    HasErr = false;
+    return std::move(Err);
   }
 
-  SmtResult unsupported(const std::string &Why) {
-    if (!Aborted) {
-      Aborted = true;
-      Result.Status = SolveStatus::Unsupported;
-      Result.Stop = StopReason::UnsupportedFragment;
-      Result.Note = Why;
-    }
-    return Result;
-  }
-
-  /// Z3-style keyword list answering (get-info :statistics), built from
-  /// the accumulated per-sub-query SolveStats.
-  std::string renderStatistics() const {
-    const SolveStats &St = Result.Stats;
-    auto Ull = [](uint64_t V) { return std::to_string(V); };
-    std::string Out = "(";
-    Out += ":cubes-tried " + Ull(Result.CubesTried);
-    Out += "\n :regex-queries " + Ull(RegexQueries);
-    Out += "\n :derivative-calls " + Ull(St.DerivativeCalls);
-    Out += "\n :dnf-calls " + Ull(St.DnfCalls);
-    Out += "\n :dnf-branches-explored " + Ull(St.DnfBranchesExplored);
-    Out += "\n :dnf-branches-pruned " + Ull(St.DnfBranchesPruned);
-    Out += "\n :arcs-enumerated " + Ull(St.ArcsEnumerated);
-    Out += "\n :minterm-computations " + Ull(St.MintermComputations);
-    Out += "\n :minterms-produced " + Ull(St.MintermsProduced);
-    Out += "\n :intern-hits " + Ull(St.InternHits);
-    Out += "\n :intern-misses " + Ull(St.InternMisses);
-    Out += "\n :memo-hits " + Ull(St.MemoHits);
-    Out += "\n :memo-misses " + Ull(St.MemoMisses);
-    Out += "\n :arena-nodes " + Ull(St.ArenaNodes);
-    Out += "\n :peak-frontier " + Ull(St.PeakFrontier);
-    Out += "\n :solver-steps " + Ull(St.SolverSteps);
-    // Compiled serving path. These live in the process-wide registry (the
-    // compiled kernel never touches per-query stats), so they are
-    // cumulative across the solver's lifetime like the rest of this list.
-    obs::MetricShard Reg = obs::MetricsRegistry::global().snapshot();
-    Out += "\n :compiled-promotions " +
-           Ull(Reg.get(obs::Counter::CompiledPromotions));
-    Out += "\n :compiled-chars-scanned " +
-           Ull(Reg.get(obs::Counter::CompiledCharsScanned));
-    Out += "\n :compiled-prefilter-skips " +
-           Ull(Reg.get(obs::Counter::CompiledPrefilterSkips));
-    Out += "\n :compiled-fallbacks " +
-           Ull(Reg.get(obs::Counter::CompiledFallbacks));
-    Out += "\n :minterm-time-us " + std::to_string(St.MintermUs);
-    Out += "\n :derive-time-us " + std::to_string(St.DeriveUs);
-    Out += "\n :dnf-time-us " + std::to_string(St.DnfUs);
-    Out += "\n :cache-probe-time-us " + std::to_string(St.CacheProbeUs);
-    Out += "\n :scan-time-us " + std::to_string(St.ScanUs);
-    Out += "\n :search-time-us " + std::to_string(St.SearchUs);
-    Out += "\n :solve-time-us " + std::to_string(St.TotalUs);
-    // Latency distribution over every regex sub-query solved so far, from
-    // the process-wide histogram registry (cumulative, like the compiled
-    // counters above; all-zero at -DSBD_OBS=0).
-    obs::HistShard Hists = obs::HistogramRegistry::global().snapshot();
-    const obs::HistShard::Data &Lat =
-        Hists.H[static_cast<size_t>(obs::Hist::SolveLatencyUs)];
-    Out += "\n :solve-latency-count " + Ull(Lat.Count);
-    Out += "\n :solve-latency-p50-us " + Ull(obs::histPercentile(Lat, 50));
-    Out += "\n :solve-latency-p90-us " + Ull(obs::histPercentile(Lat, 90));
-    Out += "\n :solve-latency-p99-us " + Ull(obs::histPercentile(Lat, 99));
-    Out += ")";
-    return Out;
-  }
-
-  void handleSetInfo(const SExpr &Form) {
+  void setInfo(const SExpr &Form) {
     // (set-info :status sat|unsat|unknown)
     if (Form.Kids.size() == 3 && Form.Kids[1].isSymbol(":status")) {
       if (Form.Kids[2].isSymbol("sat"))
-        Result.ExpectedSat = true;
+        ExpectedSat_ = true;
       else if (Form.Kids[2].isSymbol("unsat"))
-        Result.ExpectedSat = false;
+        ExpectedSat_ = false;
     }
   }
 
-  void handleDeclare(const SExpr &Form) {
+  void declare(const SExpr &Form) {
     // (declare-const x String) | (declare-fun x () String)
     bool IsFun = Form.Kids[0].isSymbol("declare-fun");
     size_t SortIdx = IsFun ? 3 : 2;
@@ -214,6 +90,198 @@ private:
       return;
     }
     unsupported("unsupported sort: " + Sort.Text);
+  }
+
+  /// (assert t): compiles t and records it in the current frame. On error
+  /// the assertion is discarded and the frames are unchanged.
+  void assertForm(const SExpr &Form) {
+    if (Form.Kids.size() != 2) {
+      unsupported("malformed assert");
+      return;
+    }
+    BE E = compileBool(Form.Kids[1], /*Positive=*/true);
+    if (!HasErr)
+      FrameAsserts.back().push_back(E);
+  }
+
+  /// Compiles one check-sat-assuming term. Returns false on error.
+  bool compileAssumption(const SExpr &Term, std::vector<BE> &Out) {
+    BE E = compileBool(Term, /*Positive=*/true);
+    if (HasErr)
+      return false;
+    Out.push_back(E);
+    return true;
+  }
+
+  void push(uint64_t N) {
+    for (uint64_t I = 0; I != N; ++I)
+      FrameAsserts.emplace_back();
+  }
+
+  void pop(uint64_t N) {
+    if (N >= FrameAsserts.size()) {
+      unsupported("pop without matching push");
+      return;
+    }
+    for (uint64_t I = 0; I != N; ++I)
+      FrameAsserts.pop_back();
+  }
+
+  void resetAssertions() {
+    // Declarations are kept (the :global-declarations view): the resident
+    // use case re-asserts over the same variables.
+    FrameAsserts.clear();
+    FrameAsserts.emplace_back();
+  }
+
+  size_t numAssertions() const {
+    size_t N = 0;
+    for (const std::vector<BE> &F : FrameAsserts)
+      N += F.size();
+    return N;
+  }
+
+  size_t pushDepth() const { return FrameAsserts.size() - 1; }
+
+  /// Solves the conjunction of every live assertion plus \p Assumptions.
+  /// The compiled state (atoms, arena, graph facts) persists; only the
+  /// per-check verdict is fresh.
+  SmtCheck checkSat(const std::vector<BE> &Assumptions = {}) {
+    Cur = SmtCheck();
+    std::vector<BE> Agenda;
+    for (const std::vector<BE> &F : FrameAsserts)
+      Agenda.insert(Agenda.end(), F.begin(), F.end());
+    Agenda.insert(Agenda.end(), Assumptions.begin(), Assumptions.end());
+    solve(Agenda);
+    CubesTriedTotal += Cur.CubesTried;
+    Last = Cur;
+    HaveChecked = true;
+    return Cur;
+  }
+
+  bool haveChecked() const { return HaveChecked; }
+  const SmtCheck &last() const { return Last; }
+  std::optional<bool> expectedSat() const { return ExpectedSat_; }
+  const SolveStats &cumulativeStats() const { return CumStats; }
+  size_t cubesTriedTotal() const { return CubesTriedTotal; }
+  uint64_t regexQueries() const { return RegexQueries; }
+
+  /// (get-model) answer for the last Sat check.
+  std::string renderModel() const {
+    std::string Out = "(";
+    for (size_t I = 0; I != Last.Model.size(); ++I) {
+      if (I)
+        Out += "\n ";
+      Out += "(define-fun " + Last.Model[I].first + " () String " +
+             smtQuote(Last.Model[I].second) + ")";
+    }
+    Out += ")";
+    return Out;
+  }
+
+  /// Z3-style keyword list answering (get-info :statistics), built from
+  /// the accumulated per-sub-query SolveStats (cumulative over the
+  /// script/session lifetime).
+  std::string renderStatistics() const {
+    const SolveStats &St = CumStats;
+    auto Ull = [](uint64_t V) { return std::to_string(V); };
+    std::string Out = "(";
+    Out += ":cubes-tried " + Ull(CubesTriedTotal);
+    Out += "\n :checks-run " + Ull(ChecksRun);
+    Out += "\n :regex-queries " + Ull(RegexQueries);
+    Out += "\n :derivative-calls " + Ull(St.DerivativeCalls);
+    Out += "\n :dnf-calls " + Ull(St.DnfCalls);
+    Out += "\n :dnf-branches-explored " + Ull(St.DnfBranchesExplored);
+    Out += "\n :dnf-branches-pruned " + Ull(St.DnfBranchesPruned);
+    Out += "\n :arcs-enumerated " + Ull(St.ArcsEnumerated);
+    Out += "\n :minterm-computations " + Ull(St.MintermComputations);
+    Out += "\n :minterms-produced " + Ull(St.MintermsProduced);
+    Out += "\n :intern-hits " + Ull(St.InternHits);
+    Out += "\n :intern-misses " + Ull(St.InternMisses);
+    Out += "\n :memo-hits " + Ull(St.MemoHits);
+    Out += "\n :memo-misses " + Ull(St.MemoMisses);
+    Out += "\n :arena-nodes " + Ull(St.ArenaNodes);
+    Out += "\n :peak-frontier " + Ull(St.PeakFrontier);
+    Out += "\n :solver-steps " + Ull(St.SolverSteps);
+    // Compiled serving path and the cross-query verdict cache. These live
+    // in the process-wide registry (the compiled kernel and the shared
+    // cache never touch per-query stats), so they are cumulative across
+    // the solver's lifetime like the rest of this list.
+    obs::MetricShard Reg = obs::MetricsRegistry::global().snapshot();
+    Out += "\n :compiled-promotions " +
+           Ull(Reg.get(obs::Counter::CompiledPromotions));
+    Out += "\n :compiled-chars-scanned " +
+           Ull(Reg.get(obs::Counter::CompiledCharsScanned));
+    Out += "\n :compiled-prefilter-skips " +
+           Ull(Reg.get(obs::Counter::CompiledPrefilterSkips));
+    Out += "\n :compiled-fallbacks " +
+           Ull(Reg.get(obs::Counter::CompiledFallbacks));
+    Out += "\n :verdict-cache-hits " +
+           Ull(Reg.get(obs::Counter::VerdictCacheHits));
+    Out += "\n :verdict-cache-misses " +
+           Ull(Reg.get(obs::Counter::VerdictCacheMisses));
+    Out += "\n :verdict-cache-inserts " +
+           Ull(Reg.get(obs::Counter::VerdictCacheInserts));
+    Out += "\n :verdict-cache-evictions " +
+           Ull(Reg.get(obs::Counter::VerdictCacheEvictions));
+    Out += "\n :minterm-time-us " + std::to_string(St.MintermUs);
+    Out += "\n :derive-time-us " + std::to_string(St.DeriveUs);
+    Out += "\n :dnf-time-us " + std::to_string(St.DnfUs);
+    Out += "\n :cache-probe-time-us " + std::to_string(St.CacheProbeUs);
+    Out += "\n :scan-time-us " + std::to_string(St.ScanUs);
+    Out += "\n :search-time-us " + std::to_string(St.SearchUs);
+    Out += "\n :solve-time-us " + std::to_string(St.TotalUs);
+    // Latency distribution over every regex sub-query solved so far, from
+    // the process-wide histogram registry (cumulative, like the compiled
+    // counters above; all-zero at -DSBD_OBS=0).
+    obs::HistShard Hists = obs::HistogramRegistry::global().snapshot();
+    const obs::HistShard::Data &Lat =
+        Hists.H[static_cast<size_t>(obs::Hist::SolveLatencyUs)];
+    Out += "\n :solve-latency-count " + Ull(Lat.Count);
+    Out += "\n :solve-latency-p50-us " + Ull(obs::histPercentile(Lat, 50));
+    Out += "\n :solve-latency-p90-us " + Ull(obs::histPercentile(Lat, 90));
+    Out += "\n :solve-latency-p99-us " + Ull(obs::histPercentile(Lat, 99));
+    Out += ")";
+    return Out;
+  }
+
+private:
+  RegexSolver &Solver;
+  /// Analyzer-driven engine selection for every membership sub-query
+  /// (portfolio/Portfolio.h); the verdict cache, when attached, hangs off
+  /// this router too.
+  portfolio::PortfolioSolver &Port;
+  RegexManager &M;
+  SolveOptions Opts;
+  BoolExprManager B;
+  bool HasErr = false;
+  std::string Err;
+  uint64_t RegexQueries = 0;
+  uint64_t ChecksRun = 0;
+  SolveStats CumStats;
+  size_t CubesTriedTotal = 0;
+  SmtCheck Cur;  ///< the check being solved (written by solve/tryCube)
+  SmtCheck Last; ///< the most recent finished check
+  bool HaveChecked = false;
+  std::optional<bool> ExpectedSat_;
+
+  std::set<std::string> StringVars;
+  std::vector<Atom> Atoms;
+  std::map<std::pair<std::string, uint32_t>, uint32_t> AtomIndex;
+  /// Scoped assertions: FrameAsserts[0] is the base level, each (push)
+  /// opens a new frame, (pop) drops the newest.
+  std::vector<std::vector<BE>> FrameAsserts;
+
+  BE unsupportedExpr(const std::string &Why) {
+    unsupported(Why);
+    return B.falseExpr();
+  }
+
+  void unsupported(const std::string &Why) {
+    if (!HasErr) {
+      HasErr = true;
+      Err = Why;
+    }
   }
 
   BE atomExpr(const std::string &Var, Re Regex) {
@@ -240,7 +308,7 @@ private:
   /// --- Boolean layer -------------------------------------------------------
 
   BE compileBool(const SExpr &E, bool) {
-    if (Aborted)
+    if (HasErr)
       return B.falseExpr();
     if (E.isSymbol("true"))
       return B.trueExpr();
@@ -517,7 +585,7 @@ private:
   /// --- Regex layer ----------------------------------------------------------
 
   Re compileRe(const SExpr &E) {
-    if (Aborted)
+    if (HasErr)
       return M.empty();
     if (E.isSymbol("re.none"))
       return M.empty();
@@ -629,7 +697,7 @@ private:
     std::vector<std::pair<std::string, std::string>> Model;
     for (const auto &[Var, Literals] : PerVar) {
       SolveResult R = Port.checkMembership(Literals, Opts);
-      Result.Stats += R.Stats;
+      CumStats += R.Stats;
       ++RegexQueries;
       if (R.Status == SolveStatus::Unknown) {
         SawUnknown = true;
@@ -652,7 +720,7 @@ private:
       if (!PerVar.count(Var))
         Model.emplace_back(Var, "");
     std::sort(Model.begin(), Model.end());
-    Result.Model = std::move(Model);
+    Cur.Model = std::move(Model);
     return true;
   }
 
@@ -666,8 +734,8 @@ private:
       ++CubesTried;
       return tryCube(Assign, SawUnknown);
     }
-    BE Cur = Agenda[Next];
-    const BoolExprNode &N = B.node(Cur);
+    BE Cur_ = Agenda[Next];
+    const BoolExprNode &N = B.node(Cur_);
     switch (N.Kind) {
     case BoolExprKind::False:
       return false;
@@ -695,8 +763,8 @@ private:
     }
     case BoolExprKind::And: {
       std::vector<BE> NewAgenda = Agenda;
-      NewAgenda.insert(NewAgenda.begin() + Next + 1, N.Kids.begin(),
-                       N.Kids.end());
+      NewAgenda.insert(NewAgenda.begin() + static_cast<ptrdiff_t>(Next) + 1,
+                       N.Kids.begin(), N.Kids.end());
       NewAgenda[Next] = B.trueExpr();
       return enumerate(std::move(NewAgenda), Next, Assign, SawUnknown,
                        CubesTried, MaxCubes);
@@ -718,6 +786,7 @@ private:
   }
 
   void solve(const std::vector<BE> &Assertions) {
+    ++ChecksRun;
     BE Formula = nnf(B.and_(Assertions), /*Positive=*/true);
     bool SawUnknown = false;
     size_t CubesTried = 0;
@@ -725,32 +794,304 @@ private:
     std::map<uint32_t, bool> Assign;
     bool Found = enumerate({Formula}, 0, Assign, SawUnknown, CubesTried,
                            MaxCubes);
-    Result.CubesTried = CubesTried;
+    Cur.CubesTried = CubesTried;
     if (Found) {
-      Result.Status = SolveStatus::Sat;
+      Cur.Status = SolveStatus::Sat;
       return;
     }
     if (SawUnknown || CubesTried >= MaxCubes) {
-      Result.Status = SolveStatus::Unknown;
-      Result.Stop = SawUnknown ? StopReason::SubqueryUnknown
-                               : StopReason::CubeBudget;
-      Result.Note = SawUnknown ? "regex query budget exhausted"
-                               : "implicant budget exhausted";
+      Cur.Status = SolveStatus::Unknown;
+      Cur.Stop = SawUnknown ? StopReason::SubqueryUnknown
+                            : StopReason::CubeBudget;
+      Cur.Note = SawUnknown ? "regex query budget exhausted"
+                            : "implicant budget exhausted";
       return;
     }
-    Result.Status = SolveStatus::Unsat;
+    Cur.Status = SolveStatus::Unsat;
   }
 };
 
 } // namespace
 
+/// --- Script mode -----------------------------------------------------------
+
 SmtResult SmtSolver::solveScript(const std::string &Script,
                                  const SolveOptions &Opts) {
   obs::ScopedSpan Span("solveScript", "smt");
-  class Script Ctx(Solver, Opts);
-  SmtResult R = Ctx.run(Script);
-  Span.arg("status", std::string(statusName(R.Status)));
+  SmtResult Result;
+  SExprParseResult Parsed = parseSExprs(Script);
+  if (!Parsed.Ok) {
+    Result.Status = SolveStatus::Unsupported;
+    Result.Stop = StopReason::ParseError;
+    Result.Note = "parse error: " + Parsed.Error;
+    Span.arg("status", std::string(statusName(Result.Status)));
+    return Result;
+  }
+
+  portfolio::PortfolioSolver Port(Solver);
+  ScriptContext Ctx(Solver, Port, Opts);
+
+  auto runCheck = [&](const std::vector<BE> &Assumptions) {
+    SmtCheck C = Ctx.checkSat(Assumptions);
+    Result.Checks.push_back(C);
+    Result.Status = C.Status;
+    Result.Stop = C.Stop;
+    Result.Note = C.Note;
+    Result.Model = C.Model;
+  };
+
+  bool Failed = false;
+  auto fail = [&](const std::string &Why) {
+    Result.Status = SolveStatus::Unsupported;
+    Result.Stop = StopReason::UnsupportedFragment;
+    Result.Note = Why;
+    Failed = true;
+  };
+
+  for (const SExpr &Form : Parsed.Forms) {
+    if (!Form.isList() || Form.Kids.empty())
+      continue;
+    const SExpr &Head = Form.Kids[0];
+    if (Head.isSymbol("set-info")) {
+      Ctx.setInfo(Form);
+    } else if (Head.isSymbol("get-info")) {
+      // (get-info :statistics) — rendered from the work done so far, so
+      // it must follow the check-sat it reports on.
+      if (Form.Kids.size() == 2 && Form.Kids[1].isSymbol(":statistics"))
+        Result.Statistics = Ctx.renderStatistics();
+    } else if (Head.isSymbol("declare-fun") ||
+               Head.isSymbol("declare-const")) {
+      Ctx.declare(Form);
+    } else if (Head.isSymbol("assert")) {
+      Ctx.assertForm(Form);
+    } else if (Head.isSymbol("push") || Head.isSymbol("pop")) {
+      uint64_t N = 1;
+      if (Form.Kids.size() == 2 && Form.Kids[1].K == SExpr::Kind::Number &&
+          Form.Kids[1].Number >= 0)
+        N = static_cast<uint64_t>(Form.Kids[1].Number);
+      if (Head.isSymbol("push"))
+        Ctx.push(N);
+      else
+        Ctx.pop(N);
+    } else if (Head.isSymbol("check-sat")) {
+      runCheck({});
+    } else if (Head.isSymbol("check-sat-assuming")) {
+      std::vector<BE> Assumptions;
+      bool Ok = Form.Kids.size() == 2 && Form.Kids[1].isList();
+      if (Ok)
+        for (const SExpr &Lit : Form.Kids[1].Kids)
+          if (!Ctx.compileAssumption(Lit, Assumptions))
+            break;
+      if (!Ok)
+        fail("malformed check-sat-assuming");
+      else if (!Ctx.hasError())
+        runCheck(Assumptions);
+    } else if (Head.isSymbol("reset-assertions")) {
+      Ctx.resetAssertions();
+    }
+    // set-logic, set-option, get-model, get-value, echo, exit, and unknown
+    // commands: no-ops in script mode (the session front end answers them).
+    if (Ctx.hasError()) {
+      fail(Ctx.takeError());
+      break;
+    }
+    if (Failed)
+      break;
+  }
+  // Script without check-sat: solve what we have (legacy behavior).
+  if (!Failed && Result.Checks.empty())
+    runCheck({});
+
+  Result.ExpectedSat = Ctx.expectedSat();
+  Result.Stats = Ctx.cumulativeStats();
+  Result.CubesTried = Ctx.cubesTriedTotal();
+  Span.arg("status", std::string(statusName(Result.Status)));
   // Safe point for SIGUSR1-driven exposition dumps between scripts.
   obs::pollExposition();
+  return Result;
+}
+
+/// --- Session mode ----------------------------------------------------------
+
+struct SmtSession::Impl {
+  RegexSolver &Solver;
+  SolveOptions Opts;
+  portfolio::PortfolioSolver Port;
+  /// Reconstructed on (reset); the arena behind Solver persists.
+  std::optional<ScriptContext> Ctx;
+  bool PrintSuccess = false;
+
+  Impl(RegexSolver &S, const SolveOptions &O) : Solver(S), Opts(O), Port(S) {
+    Ctx.emplace(Solver, Port, Opts);
+  }
+};
+
+SmtSession::SmtSession(RegexSolver &S, const SolveOptions &Opts)
+    : I(std::make_unique<Impl>(S, Opts)) {}
+
+SmtSession::~SmtSession() = default;
+
+void SmtSession::setVerdictCache(cache::VerdictCache *C) {
+  I->Port.setVerdictCache(C);
+}
+
+size_t SmtSession::numAssertions() const { return I->Ctx->numAssertions(); }
+
+size_t SmtSession::pushDepth() const { return I->Ctx->pushDepth(); }
+
+void SmtSession::reset() {
+  I->Ctx.emplace(I->Solver, I->Port, I->Opts);
+  I->PrintSuccess = false;
+}
+
+SmtResult SmtSession::lastResult() const {
+  SmtResult R;
+  if (I->Ctx->haveChecked()) {
+    const SmtCheck &C = I->Ctx->last();
+    R.Status = C.Status;
+    R.Stop = C.Stop;
+    R.Note = C.Note;
+    R.Model = C.Model;
+    R.Checks.push_back(C);
+  }
+  R.ExpectedSat = I->Ctx->expectedSat();
+  R.Stats = I->Ctx->cumulativeStats();
+  R.CubesTried = I->Ctx->cubesTriedTotal();
   return R;
+}
+
+SmtSession::Reply SmtSession::execute(const SExpr &Form) {
+  Reply R;
+  auto success = [&] {
+    if (I->PrintSuccess)
+      R.Text = "success";
+  };
+  auto error = [&](const std::string &Why) {
+    R.Text = "(error " + smtQuote(Why) + ")";
+    R.IsError = true;
+  };
+  if (!Form.isList() || Form.Kids.empty() ||
+      Form.Kids[0].K != SExpr::Kind::Symbol) {
+    error("invalid command");
+    return R;
+  }
+  ScriptContext &Ctx = *I->Ctx;
+  const SExpr &Head = Form.Kids[0];
+
+  if (Head.isSymbol("set-logic")) {
+    success();
+  } else if (Head.isSymbol("set-option")) {
+    // Only :print-success is interpreted; other options are accepted and
+    // ignored (solver budgets come from the session's SolveOptions).
+    if (Form.Kids.size() == 3 && Form.Kids[1].isSymbol(":print-success"))
+      I->PrintSuccess = Form.Kids[2].isSymbol("true");
+    success();
+  } else if (Head.isSymbol("set-info")) {
+    Ctx.setInfo(Form);
+    success();
+  } else if (Head.isSymbol("declare-fun") || Head.isSymbol("declare-const")) {
+    Ctx.declare(Form);
+    if (Ctx.hasError())
+      error(Ctx.takeError());
+    else
+      success();
+  } else if (Head.isSymbol("assert")) {
+    Ctx.assertForm(Form);
+    if (Ctx.hasError())
+      error(Ctx.takeError());
+    else
+      success();
+  } else if (Head.isSymbol("push") || Head.isSymbol("pop")) {
+    uint64_t N = 1;
+    if (Form.Kids.size() == 2 && Form.Kids[1].K == SExpr::Kind::Number &&
+        Form.Kids[1].Number >= 0)
+      N = static_cast<uint64_t>(Form.Kids[1].Number);
+    if (Head.isSymbol("push"))
+      Ctx.push(N);
+    else
+      Ctx.pop(N);
+    if (Ctx.hasError())
+      error(Ctx.takeError());
+    else
+      success();
+  } else if (Head.isSymbol("check-sat")) {
+    SmtCheck C = Ctx.checkSat();
+    ++Checks;
+    SBD_OBS_INC(SessionChecks);
+    R.Text = statusName(C.Status);
+  } else if (Head.isSymbol("check-sat-assuming")) {
+    std::vector<BE> Assumptions;
+    if (Form.Kids.size() != 2 || !Form.Kids[1].isList()) {
+      error("malformed check-sat-assuming");
+      return R;
+    }
+    for (const SExpr &Lit : Form.Kids[1].Kids)
+      if (!Ctx.compileAssumption(Lit, Assumptions))
+        break;
+    if (Ctx.hasError()) {
+      error(Ctx.takeError());
+      return R;
+    }
+    SmtCheck C = Ctx.checkSat(Assumptions);
+    ++Checks;
+    SBD_OBS_INC(SessionChecks);
+    R.Text = statusName(C.Status);
+  } else if (Head.isSymbol("get-model")) {
+    if (Ctx.haveChecked() && Ctx.last().Status == SolveStatus::Sat)
+      R.Text = Ctx.renderModel();
+    else
+      error("model is not available");
+  } else if (Head.isSymbol("get-value")) {
+    error("get-value is not supported; use get-model");
+  } else if (Head.isSymbol("get-info")) {
+    if (Form.Kids.size() != 2 || Form.Kids[1].K != SExpr::Kind::Symbol) {
+      error("malformed get-info");
+    } else if (Form.Kids[1].isSymbol(":statistics") ||
+               Form.Kids[1].isSymbol(":all-statistics")) {
+      R.Text = Ctx.renderStatistics();
+    } else if (Form.Kids[1].isSymbol(":name")) {
+      R.Text = "(:name \"sbd\")";
+    } else if (Form.Kids[1].isSymbol(":error-behavior")) {
+      R.Text = "(:error-behavior continued-execution)";
+    } else {
+      error("unsupported get-info flag: " + Form.Kids[1].Text);
+    }
+  } else if (Head.isSymbol("echo")) {
+    if (Form.Kids.size() == 2 && Form.Kids[1].K == SExpr::Kind::String)
+      R.Text = smtQuote(Form.Kids[1].Text);
+    else
+      error("malformed echo");
+  } else if (Head.isSymbol("reset-assertions")) {
+    Ctx.resetAssertions();
+    success();
+  } else if (Head.isSymbol("reset")) {
+    reset();
+    success();
+  } else if (Head.isSymbol("exit")) {
+    R.ExitRequested = true;
+    success();
+  } else {
+    error("unsupported command: " + Head.Text);
+  }
+  return R;
+}
+
+std::vector<SmtSession::Reply> SmtSession::executeAll(const std::string &Text) {
+  std::vector<Reply> Out;
+  SExprParseResult Parsed = parseSExprs(Text);
+  if (!Parsed.Ok) {
+    Reply R;
+    R.Text = "(error " + smtQuote("parse error: " + Parsed.Error) + ")";
+    R.IsError = true;
+    Out.push_back(std::move(R));
+    return Out;
+  }
+  for (const SExpr &Form : Parsed.Forms) {
+    Out.push_back(execute(Form));
+    if (Out.back().ExitRequested)
+      break;
+  }
+  // Safe point for SIGUSR1-driven exposition dumps between batches.
+  obs::pollExposition();
+  return Out;
 }

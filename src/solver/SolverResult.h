@@ -37,6 +37,8 @@ enum class StopReason : uint8_t {
   UnsupportedFragment, ///< input outside the supported fragment
   CubeBudget,          ///< implicant enumeration budget exhausted (SMT)
   SubqueryUnknown,     ///< a sub-query gave up, poisoning the verdict (SMT)
+  CacheRevalidationFailed, ///< a cached witness failed replay through the
+                           ///< reference matcher (hard error, never silent)
 };
 
 /// Human-readable stop-reason name (stable, snake_case).
@@ -58,6 +60,8 @@ inline const char *stopReasonName(StopReason R) {
     return "cube_budget";
   case StopReason::SubqueryUnknown:
     return "subquery_unknown";
+  case StopReason::CacheRevalidationFailed:
+    return "cache_revalidation_failed";
   }
   return "?";
 }
@@ -78,6 +82,7 @@ enum class SolveEngine : uint8_t {
   Antimirov,  ///< Antimirov partial-derivative NFA baseline
   BrzMinterm, ///< Brzozowski + explicit minterm baseline
   Eager,      ///< eager product-automaton solver
+  VerdictCache, ///< answered from the cross-query verdict cache (no solve)
 };
 
 /// Human-readable engine name (stable, snake_case).
@@ -93,6 +98,8 @@ inline const char *solveEngineName(SolveEngine E) {
     return "brz_minterm";
   case SolveEngine::Eager:
     return "eager";
+  case SolveEngine::VerdictCache:
+    return "verdict_cache";
   }
   return "?";
 }

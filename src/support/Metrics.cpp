@@ -84,6 +84,18 @@ const char *sbd::obs::counterName(Counter C) {
     return "analysis_cache_hits";
   case Counter::AdmissionFlagged:
     return "admission_flagged";
+  case Counter::VerdictCacheHits:
+    return "verdict_cache_hits";
+  case Counter::VerdictCacheMisses:
+    return "verdict_cache_misses";
+  case Counter::VerdictCacheInserts:
+    return "verdict_cache_inserts";
+  case Counter::VerdictCacheEvictions:
+    return "verdict_cache_evictions";
+  case Counter::VerdictCacheRevalidationFailures:
+    return "verdict_cache_revalidation_failures";
+  case Counter::SessionChecks:
+    return "session_checks";
   case Counter::ParseTimeUs:
     return "parse_time_us";
   case Counter::MintermTimeUs:

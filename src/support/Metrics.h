@@ -111,6 +111,14 @@ enum class Counter : uint32_t {
   AnalysisNodesVisited, ///< DAG nodes folded by RegexAnalyzer (memo misses)
   AnalysisCacheHits,    ///< analyze() requests answered from the node memo
   AdmissionFlagged,     ///< Adversarial-class queries capped by admission
+  // Cross-query verdict cache (cache/VerdictCache.h, DESIGN.md §15).
+  VerdictCacheHits,     ///< queries answered from a cached verdict
+  VerdictCacheMisses,   ///< canonical keys probed and not found
+  VerdictCacheInserts,  ///< definite verdicts memoized
+  VerdictCacheEvictions,///< entries displaced by least-recently-hit eviction
+  VerdictCacheRevalidationFailures, ///< cached witnesses the reference
+                                    ///< matcher rejected on hit (hard error)
+  SessionChecks,        ///< (check-sat) commands served by SmtSession
   // Phase timings, microseconds (counters so they shard/merge like the rest).
   ParseTimeUs,
   MintermTimeUs,

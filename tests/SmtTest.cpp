@@ -354,7 +354,10 @@ TEST_F(SmtTest, UnsupportedConstructsReportCleanly) {
                 "(check-sat)")
                 .Status,
             SolveStatus::Unsupported);
-  EXPECT_EQ(run("(push)(pop)(check-sat)").Status, SolveStatus::Unsupported);
+  // push/pop are supported now (incremental scripts); empty stack → Sat.
+  EXPECT_EQ(run("(push)(pop)(check-sat)").Status, SolveStatus::Sat);
+  EXPECT_EQ(run("(pop)(check-sat)").Status,
+            SolveStatus::Unsupported); // pop without matching push
   EXPECT_EQ(run("(assert (= 1 2)").Status, SolveStatus::Unsupported);
 }
 
@@ -438,7 +441,8 @@ TEST_F(SmtTest, TrailingFormsAfterCheckSatKeepTheVerdict) {
 }
 
 TEST_F(SmtTest, StopReasonsAreMachineReadable) {
-  SmtResult Unsup = run("(push)(pop)(check-sat)");
+  SmtResult Unsup = run("(declare-const s String)"
+                        "(assert (str.replace s \"a\" \"b\"))(check-sat)");
   EXPECT_EQ(Unsup.Status, SolveStatus::Unsupported);
   EXPECT_EQ(Unsup.Stop, StopReason::UnsupportedFragment);
 
