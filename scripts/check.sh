@@ -7,10 +7,11 @@
 #   - ci/lint.sh              lint_sbd.py + clang-tidy vs baseline
 #   - ci/validate_workflow.py GitHub Actions workflow structure lint
 #   - ci/bench_debug.sh       every bench harness at --quick + stats smoke
-#   - ci/perf_smoke.sh        release --quick benches vs BENCH_PR9.json
+#   - ci/perf_smoke.sh        release --quick benches vs BENCH_PR10.json
 #   - ci/fuzz_smoke.sh        differential fuzz campaign + oracle self-check
 #   - ci/analyze_corpus.sh    corpus classification regression + overhead gate
 #   - ci/session_cache.sh     sbd-server warm-vs-cold verdict-cache gate
+#   - ci/dist_consistency.sh  sbd-dist 1-vs-N verdict equality + crash requeue
 #   - ci/werror.sh            -Wall -Wextra -Wshadow -Wconversion -Werror
 #   - ci/audit.sh             full suite with term-DAG invariant audits live
 #   - ci/obs_off.sh           observability layer compiles out cleanly
@@ -21,7 +22,7 @@
 #
 #   scripts/check.sh          # everything above
 #   scripts/check.sh --quick  # release bench run only; refreshes the
-#                             # checked-in BENCH_PR9.json perf baseline
+#                             # checked-in BENCH_PR10.json perf baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 CI_DIR=scripts/ci
@@ -32,7 +33,7 @@ CI_DIR=scripts/ci
 if [ "${1:-}" = "--quick" ]; then
   "$CI_DIR"/bench_quick.sh
   python3 scripts/perf_smoke.py snapshot /tmp/sbd-bench-micro.json \
-    /tmp/sbd-bench-corpus.json BENCH_PR9.json
+    /tmp/sbd-bench-corpus.json BENCH_PR10.json
   exit 0
 fi
 
@@ -44,6 +45,7 @@ python3 "$CI_DIR"/validate_workflow.py
 "$CI_DIR"/fuzz_smoke.sh build
 "$CI_DIR"/analyze_corpus.sh build
 "$CI_DIR"/session_cache.sh
+"$CI_DIR"/dist_consistency.sh
 "$CI_DIR"/werror.sh
 "$CI_DIR"/audit.sh
 "$CI_DIR"/obs_off.sh

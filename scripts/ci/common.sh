@@ -50,6 +50,27 @@ if [ -z "${SBD_NO_CCACHE:-}" ] && command -v ccache > /dev/null 2>&1; then
                    -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
+# Managed scratch directories: sbd_workdir VAR [slug] creates a temp dir,
+# assigns its path to VAR, and arms one shared EXIT trap that removes every
+# workdir created through this helper — on success, failure, and signals
+# alike, so an aborted gate never leaves corpus/cache litter in /tmp.
+# (Assignment via printf -v rather than command substitution: a subshell
+# could not register the trap in the sourcing script.)
+SBD_WORKDIRS=()
+sbd_cleanup_workdirs() {
+  local d
+  for d in ${SBD_WORKDIRS[@]+"${SBD_WORKDIRS[@]}"}; do
+    rm -rf "$d"
+  done
+}
+sbd_workdir() { # sbd_workdir <var-name> [slug]
+  local __var="$1" __slug="${2:-work}" __dir
+  __dir="$(mktemp -d "/tmp/sbd-${__slug}.XXXXXX")"
+  SBD_WORKDIRS+=("$__dir")
+  trap sbd_cleanup_workdirs EXIT
+  printf -v "$__var" '%s' "$__dir"
+}
+
 # sbd_configure <build-dir> [extra cmake args...]
 sbd_configure() {
   local dir="$1"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf-smoke guard: rerun the --quick benches and compare against the
-# checked-in BENCH_PR9.json baseline (generous 2.5x tolerance; see
+# checked-in BENCH_PR10.json baseline (generous 2.5x tolerance; see
 # scripts/perf_smoke.py). Skips cleanly when no baseline is checked in.
 # The CI job running this is continue-on-error: shared runners are noisy,
 # so it warns rather than blocks.
@@ -8,5 +8,5 @@
 
 require python3 "needed for scripts/perf_smoke.py"
 "$(dirname "$0")/bench_quick.sh"
-python3 scripts/perf_smoke.py compare BENCH_PR9.json \
+python3 scripts/perf_smoke.py compare BENCH_PR10.json \
   /tmp/sbd-bench-micro.json /tmp/sbd-bench-corpus.json

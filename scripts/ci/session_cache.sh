@@ -27,8 +27,7 @@ require python3 "needed to evaluate the stats JSON"
 BUILD_DIR="${1:-build-release}"
 SCALE="${SBD_SESSION_SCALE:-0.02}"
 SEED="${SBD_SESSION_SEED:-2021}"
-WORK="$(mktemp -d /tmp/sbd-session-cache.XXXXXX)"
-trap 'rm -rf "$WORK"' EXIT
+sbd_workdir WORK session-cache # trap-managed: removed on any exit
 
 # The gate times a warm-vs-cold ratio, so measure an optimized build.
 sbd_configure "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release

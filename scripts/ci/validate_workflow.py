@@ -7,6 +7,10 @@ that actually break workflows in practice:
 
   * top level: name / on / jobs present, jobs non-empty
   * every job has runs-on and a non-empty steps list
+  * every job has timeout-minutes (a hung step must not burn the runner's
+    6-hour default) and is covered by a cancel-in-progress concurrency
+    group (workflow-level or per-job) unless the workflow only runs on
+    schedule/workflow_dispatch, where superseded runs cannot pile up
   * every step has exactly one of `uses` / `run`
   * `uses` references look like owner/repo@ref (or ./local-action)
   * every `needs` points at a job that exists
@@ -87,6 +91,29 @@ def matrix_keys_of(job):
     return keys
 
 
+def has_cancel_in_progress(node):
+    """True when a concurrency block with cancel-in-progress: true exists."""
+    conc = (node or {}).get("concurrency")
+    return isinstance(conc, dict) and conc.get("cancel-in-progress") is True
+
+
+def triggered_only_manually(doc):
+    """True when the workflow runs only on schedule/workflow_dispatch —
+    such runs are never superseded by a newer push, so requiring a
+    cancel-in-progress group would cancel nightly campaigns for nothing."""
+    # PyYAML parses the bare `on:` key as boolean True.
+    on = doc.get("on", doc.get(True))
+    if isinstance(on, str):
+        triggers = {on}
+    elif isinstance(on, list):
+        triggers = set(on)
+    elif isinstance(on, dict):
+        triggers = set(on.keys())
+    else:
+        return False
+    return triggers and triggers <= {"schedule", "workflow_dispatch"}
+
+
 def check_workflow(errors, path, doc):
     if not isinstance(doc, dict):
         fail(errors, path, "top", "workflow is not a mapping")
@@ -100,6 +127,8 @@ def check_workflow(errors, path, doc):
     if not isinstance(jobs, dict) or not jobs:
         fail(errors, path, "top", "missing or empty jobs block")
         return
+    workflow_cancels = has_cancel_in_progress(doc)
+    manual_only = triggered_only_manually(doc)
     for job_id, job in jobs.items():
         where = f"jobs.{job_id}"
         if not isinstance(job, dict):
@@ -107,6 +136,15 @@ def check_workflow(errors, path, doc):
             continue
         if "runs-on" not in job:
             fail(errors, path, where, "missing runs-on")
+        if "timeout-minutes" not in job:
+            fail(errors, path, where,
+                 "missing timeout-minutes (a hung step would hold the "
+                 "runner for the 6-hour default)")
+        if not (workflow_cancels or manual_only
+                or has_cancel_in_progress(job)):
+            fail(errors, path, where,
+                 "not covered by a cancel-in-progress concurrency group "
+                 "(superseded pushes would keep stale runs alive)")
         steps = job.get("steps")
         if not isinstance(steps, list) or not steps:
             fail(errors, path, where, "missing or empty steps list")

@@ -21,6 +21,16 @@ Two modes:
       Exits 0 with a message when the baseline is absent, so fresh clones
       and non-perf branches are not blocked.
 
+  perf_smoke.py dist <w1-stats.json> <wn-stats.json> <snapshot.json>
+      Gate the multi-process scaling run (scripts/ci/dist_consistency.sh):
+      both passes must have solved the full corpus with zero lost verdicts,
+      and on multi-core hosts the N-worker wall must be <= DIST_GATE times
+      the 1-worker wall. On a single-core host the speedup gate is loudly
+      skipped (forked workers cannot beat one process on one core) while
+      the correctness checks still apply. The measurement is merged into
+      the snapshot's "dist" block so bench_trend.py can plot the scaling
+      trajectory across PRs.
+
   perf_smoke.py --trend [bench_trend.py args...]
       Line up every checked-in BENCH_PR<n>.json and print the perf
       trajectory across PRs (delegates to scripts/bench_trend.py) — the
@@ -177,6 +187,15 @@ def snapshot(micro_path, corpus_path, out_path):
             if k in latency
         },
     }
+    # A refreshed snapshot must not drop the dist-scaling block merged in
+    # by 'perf_smoke.py dist' (the bench run doesn't measure it).
+    try:
+        with open(out_path) as f:
+            prev = json.load(f)
+        if "dist" in prev:
+            doc["dist"] = prev["dist"]
+    except (FileNotFoundError, json.JSONDecodeError):
+        pass
     with open(out_path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -291,11 +310,93 @@ def compare(baseline_path, micro_path, corpus_path):
     return 0
 
 
+# Multi-process scaling gate (DESIGN.md section 16): with SBD_DIST_WORKERS
+# workers (CI uses 4) the batch must finish in at most this fraction of the
+# 1-worker wall. Only enforced on hosts with >= 2 cores: fork-based workers
+# time-slice a single core, where the ratio is meaningless.
+DIST_GATE = 0.60
+
+
+def dist(w1_path, wn_path, snapshot_path):
+    with open(w1_path) as f:
+        w1 = json.load(f)
+    with open(wn_path) as f:
+        wn = json.load(f)
+
+    failures = []
+    for doc, label in ((w1, "1-worker"), (wn, f"{wn.get('workers')}-worker")):
+        if doc.get("queries", 0) <= 0:
+            failures.append(f"  {label} run solved no queries")
+        if doc.get("lost", 0) != 0:
+            failures.append(f"  {label} run lost {doc['lost']} verdicts")
+    if w1.get("queries") != wn.get("queries"):
+        failures.append(
+            f"  query counts differ: {w1.get('queries')} vs "
+            f"{wn.get('queries')} — the runs did not solve the same corpus")
+
+    w1_us = w1.get("wall_us", 0)
+    wn_us = wn.get("wall_us", 0)
+    cores = os.cpu_count() or 1
+    ratio = wn_us / w1_us if w1_us > 0 else None
+    if ratio is None:
+        failures.append("  1-worker run recorded no wall time")
+    elif cores >= 2:
+        if ratio > DIST_GATE:
+            failures.append(
+                f"  {wn.get('workers')}-worker wall {wn_us}us > "
+                f"{DIST_GATE}x 1-worker wall {w1_us}us ({ratio:.2f}x): "
+                "adding workers is not buying throughput (admission "
+                "control stalled, or steals stopped firing?)")
+    else:
+        print(f"perf-smoke: dist speedup gate SKIPPED — host has {cores} "
+              f"core(s); {wn.get('workers')} forked workers cannot beat one "
+              "process on one core. Correctness checks still enforced.")
+
+    if failures:
+        print(f"perf-smoke: dist gate FAILED "
+              f"({w1_path} vs {wn_path})")
+        print("\n".join(failures))
+        return 1
+
+    # Merge the measurement into the snapshot so the scaling trajectory is
+    # visible across PR baselines. The snapshot may not exist yet (fresh
+    # clone before 'check.sh --quick'); record into a new doc then.
+    try:
+        with open(snapshot_path) as f:
+            snap = json.load(f)
+    except FileNotFoundError:
+        snap = {}
+    snap["dist"] = {
+        "queries": wn.get("queries"),
+        "workers": wn.get("workers"),
+        "shards": wn.get("shards"),
+        "w1_wall_us": w1_us,
+        "wn_wall_us": wn_us,
+        "scaling_ratio": round(ratio, 3),
+        "gate": DIST_GATE,
+        "gate_enforced": cores >= 2,
+        "cores": cores,
+        "steals": wn.get("steals", 0),
+        "requeues": wn.get("requeues", 0),
+    }
+    with open(snapshot_path, "w") as f:
+        json.dump(snap, f, indent=2, sort_keys=True)
+        f.write("\n")
+    enforced = "enforced" if cores >= 2 else "recorded only"
+    print(f"perf-smoke: dist ok ({wn.get('queries')} queries, "
+          f"{wn.get('workers')} workers {wn_us}us vs 1 worker {w1_us}us = "
+          f"{ratio:.2f}x, gate {DIST_GATE}x {enforced} on {cores} cores, "
+          f"steals={wn.get('steals', 0)}) -> {snapshot_path}")
+    return 0
+
+
 def main(argv):
     if len(argv) == 5 and argv[1] == "snapshot":
         return snapshot(argv[2], argv[3], argv[4])
     if len(argv) == 5 and argv[1] == "compare":
         return compare(argv[2], argv[3], argv[4])
+    if len(argv) == 5 and argv[1] == "dist":
+        return dist(argv[2], argv[3], argv[4])
     if len(argv) >= 2 and argv[1] in ("--trend", "trend"):
         sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
         import bench_trend

@@ -1,0 +1,145 @@
+//===- dist/Protocol.h - Framed coordinator/worker wire protocol ------------===//
+///
+/// \file
+/// The wire protocol of the multi-process batch-solving layer (DESIGN.md
+/// §16): length-prefixed frames over a byte stream (Unix socketpairs in
+/// practice, but the codec is transport-agnostic and the unit tests drive
+/// it from plain buffers).
+///
+/// Frame layout (all integers little-endian):
+///
+///   +---------+--------+----------------------+
+///   | u32 len | u8 type| payload (len bytes)  |
+///   +---------+--------+----------------------+
+///
+/// `len` counts only the payload. Frames larger than `MaxFramePayload` are
+/// a protocol error — a reader must refuse them rather than attempt the
+/// allocation (a corrupted length prefix would otherwise turn into an OOM).
+/// `FrameReader` accumulates arbitrarily fragmented input (interleaved
+/// partial reads are the normal case on a socket) and yields complete
+/// frames in order; a stream that ends mid-frame is detectable through
+/// `idle()`.
+///
+/// Messages:
+///   Ready     worker → coordinator, once after startup (handshake).
+///   Request   coordinator → worker: one satisfiability query
+///             (id, surface-syntax pattern, verdict-relevant SolveOptions).
+///   Response  worker → coordinator: the full BatchResult for an id.
+///   Shutdown  coordinator → worker: graceful drain (no payload; the
+///             worker finishes nothing — every in-flight request has been
+///             answered by construction when this is sent — and exits).
+///
+/// Strings and witnesses are carried verbatim (u32 count + raw bytes /
+/// code points), so a response round-trips a `BatchResult` bit-identically
+/// — the property the `dist_consistency` harness and the byte-equal
+/// verdict-stream gates build on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBD_DIST_PROTOCOL_H
+#define SBD_DIST_PROTOCOL_H
+
+#include "portfolio/BatchSolver.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sbd {
+namespace dist {
+
+/// Wire frame kinds. Values are part of the protocol; never renumber.
+enum class FrameType : uint8_t {
+  Ready = 1,
+  Request = 2,
+  Response = 3,
+  Shutdown = 4,
+};
+
+/// Hard cap on one frame's payload. Patterns and witnesses are tiny; a
+/// length prefix beyond this is treated as stream corruption.
+constexpr uint32_t MaxFramePayload = 16u << 20; // 16 MiB
+
+/// Frame header size on the wire (u32 length + u8 type).
+constexpr size_t FrameHeaderBytes = 5;
+
+/// One decoded frame.
+struct Frame {
+  FrameType Type = FrameType::Ready;
+  std::vector<uint8_t> Payload;
+};
+
+/// One query on the wire. `Id` is the submission index — the coordinator
+/// uses it to write the response into the right output slot regardless of
+/// scheduling, stealing, or requeues.
+struct WireRequest {
+  uint64_t Id = 0;
+  std::string Pattern;
+  SolveOptions Opts;
+};
+
+/// One verdict on the wire: everything needed to rebuild the BatchResult
+/// the in-process BatchSolver would have produced for the same query.
+struct WireResponse {
+  uint64_t Id = 0;
+  BatchResult Result;
+};
+
+/// Appends a complete frame (header + payload) to \p Out.
+void appendFrame(std::vector<uint8_t> &Out, FrameType Type,
+                 const uint8_t *Payload, size_t Len);
+
+/// Encodes a message as a complete frame appended to \p Out.
+void encodeReady(std::vector<uint8_t> &Out);
+void encodeShutdown(std::vector<uint8_t> &Out);
+void encodeRequest(std::vector<uint8_t> &Out, const WireRequest &Req);
+void encodeResponse(std::vector<uint8_t> &Out, const WireResponse &Resp);
+
+/// Decodes a frame payload. nullopt on malformed payload (wrong length,
+/// truncated field) — a protocol error, never a crash.
+std::optional<WireRequest> decodeRequest(const std::vector<uint8_t> &Payload);
+std::optional<WireResponse> decodeResponse(const std::vector<uint8_t> &Payload);
+
+/// Incremental frame scanner over an arbitrarily fragmented byte stream.
+class FrameReader {
+public:
+  /// Appends \p Len raw bytes from the transport.
+  void feed(const uint8_t *Data, size_t Len);
+
+  /// Pops the next complete frame into \p Out. Returns false when no
+  /// complete frame is buffered (or the stream is poisoned — check
+  /// error()).
+  bool next(Frame &Out);
+
+  /// True once the stream violated the protocol (oversized frame, unknown
+  /// frame type). A poisoned reader never yields another frame.
+  bool error() const { return !Error.empty(); }
+  const std::string &errorMessage() const { return Error; }
+
+  /// True when the buffer holds no partial frame — the stream is at a
+  /// clean frame boundary (how EOF-mid-frame, i.e. a truncated stream, is
+  /// detected).
+  bool idle() const { return Pos == Buf.size(); }
+
+  /// Bytes buffered but not yet consumed.
+  size_t buffered() const { return Buf.size() - Pos; }
+
+private:
+  std::vector<uint8_t> Buf;
+  size_t Pos = 0; ///< consumed prefix of Buf
+  std::string Error;
+};
+
+/// Renders one line of the canonical verdict stream: `<idx> <status>` plus
+/// the witness code points for sat verdicts (`.` for the empty-string
+/// witness) and `parse_error` detail for rejected patterns. This is the
+/// byte stream the `dist_consistency` law and CI gate compare across
+/// worker counts — deliberately free of timings, engine tags, and any
+/// other run-dependent detail.
+std::string renderVerdictLine(size_t Index, const BatchResult &R);
+
+} // namespace dist
+} // namespace sbd
+
+#endif // SBD_DIST_PROTOCOL_H

@@ -2,6 +2,8 @@
 
 #include "fuzz/Fuzzer.h"
 
+#include "dist/Coordinator.h"
+#include "dist/Protocol.h"
 #include "re/RegexParser.h"
 #include "support/Metrics.h"
 #include "support/Stopwatch.h"
@@ -198,8 +200,64 @@ namespace {
 
 /// Can this law be re-checked on a candidate (regex, word) pair by
 /// re-running the per-regex oracle? De Morgan involves a *pair* of source
-/// terms, so its discrepancies are reported unshrunk.
-bool shrinkable(OracleLaw L) { return L != OracleLaw::DeMorgan; }
+/// terms, so its discrepancies are reported unshrunk; dist consistency is
+/// a whole-batch stream property with no single (regex, word) witness.
+bool shrinkable(OracleLaw L) {
+  return L != OracleLaw::DeMorgan && L != OracleLaw::DistConsistency;
+}
+
+/// The dist_consistency law: the batch's patterns through the
+/// coordinator/worker layer with 1 worker and with \p Workers workers
+/// must yield byte-identical canonical verdict streams. Any divergence is
+/// one discrepancy pinpointing the first differing line.
+void checkDistConsistency(const std::vector<std::string> &Patterns,
+                          uint32_t Workers, const FuzzOptions &Opts,
+                          std::vector<Discrepancy> &Out) {
+  std::vector<BatchQuery> Queries;
+  Queries.reserve(Patterns.size());
+  for (const std::string &P : Patterns) {
+    BatchQuery Q;
+    Q.Pattern = P;
+    Q.Opts.MaxStates = Opts.Oracle.SolverMaxStates;
+    Queries.push_back(std::move(Q));
+  }
+  auto streamWith = [&](unsigned N) {
+    dist::DistOptions DOpts;
+    DOpts.NumWorkers = N;
+    dist::DistSolver Solver(DOpts);
+    std::vector<BatchResult> Results = Solver.solveAll(Queries);
+    std::vector<std::string> Lines;
+    Lines.reserve(Results.size());
+    for (size_t I = 0; I != Results.size(); ++I)
+      Lines.push_back(dist::renderVerdictLine(I, Results[I]));
+    return Lines;
+  };
+  std::vector<std::string> One = streamWith(1);
+  std::vector<std::string> Many = streamWith(Workers ? Workers : 2);
+  for (size_t I = 0; I != One.size() && I != Many.size(); ++I) {
+    if (One[I] == Many[I])
+      continue;
+    Discrepancy D;
+    D.Law = OracleLaw::DistConsistency;
+    D.Engine = "dist";
+    D.Pattern = I < Patterns.size() ? Patterns[I] : "";
+    D.Detail = "verdict streams diverged at line " + std::to_string(I) +
+               ": 1-worker '" + One[I] + "' vs " +
+               std::to_string(Workers) + "-worker '" + Many[I] + "'";
+    Out.push_back(std::move(D));
+    return;
+  }
+  if (One.size() != Many.size()) {
+    Discrepancy D;
+    D.Law = OracleLaw::DistConsistency;
+    D.Engine = "dist";
+    D.Detail = "verdict stream lengths diverged: 1-worker " +
+               std::to_string(One.size()) + " vs " +
+               std::to_string(Workers) + "-worker " +
+               std::to_string(Many.size());
+    Out.push_back(std::move(D));
+  }
+}
 
 } // namespace
 
@@ -217,6 +275,7 @@ FuzzReport sbd::fuzz::runFuzz(const FuzzOptions &Opts) {
   std::map<std::string, EnginePhase> MergedPhases;
 
   uint64_t Iter = 0;
+  uint64_t BatchIndex = 0;
   bool Stop = false;
   while (Iter < Opts.Iterations && !Stop) {
     uint64_t RegexSeed = SeedStream.next();
@@ -234,11 +293,14 @@ FuzzReport sbd::fuzz::runFuzz(const FuzzOptions &Opts) {
     RegexGenerator RG(M, RegexSeed, Opts.Gen);
     WordGenerator WG(M, WordSeed, Opts.Gen);
 
+    std::vector<std::string> BatchPatterns;
     for (uint32_t B = 0;
          B != (Opts.ArenaBatch ? Opts.ArenaBatch : 1) &&
          Iter < Opts.Iterations && !Stop;
          ++B, ++Iter) {
       Re Rx = RG.generate();
+      if (Opts.DistEvery && BatchIndex % Opts.DistEvery == 0)
+        BatchPatterns.push_back(M.toString(Rx));
       std::vector<Discrepancy> Local;
       Oracle.beginRegex(Rx, Local);
       WG.prime(Rx);
@@ -303,6 +365,20 @@ FuzzReport sbd::fuzz::runFuzz(const FuzzOptions &Opts) {
         }
       }
     }
+
+    if (!BatchPatterns.empty() && !Stop) {
+      std::vector<Discrepancy> DistDs;
+      checkDistConsistency(BatchPatterns, Opts.DistWorkers, Opts, DistDs);
+      ++Rep.Checks;
+      SBD_OBS_INC(FuzzChecks);
+      for (Discrepancy &D : DistDs) {
+        SBD_OBS_INC(FuzzDiscrepancies);
+        Rep.Discrepancies.push_back(std::move(D));
+        if (Rep.Discrepancies.size() >= Opts.MaxDiscrepancies)
+          Stop = true;
+      }
+    }
+    ++BatchIndex;
 
     for (const EngineTiming &ET : Oracle.timings()) {
       EngineTiming &Slot = Merged[ET.Name];

@@ -46,6 +46,14 @@ struct FuzzOptions {
   /// Inject the deliberately broken stub engine (self-check that the
   /// oracle catches and shrinks a real semantic bug).
   bool CorruptStub = false;
+  /// Run the dist_consistency law every Nth arena batch (0 disables): the
+  /// batch's printed patterns are solved through the `src/dist`
+  /// coordinator with 1 worker and with DistWorkers workers, and the two
+  /// canonical verdict streams must be byte-identical (DESIGN.md §16).
+  /// Off by default — it forks processes, so the PR smoke keeps it for
+  /// the dedicated CI jobs (nightly campaign, dist_consistency.sh).
+  uint32_t DistEvery = 0;
+  uint32_t DistWorkers = 3;
   GeneratorOptions Gen;
   OracleOptions Oracle;
 };

@@ -34,6 +34,8 @@ const char *sbd::fuzz::oracleLawName(OracleLaw L) {
     return "analyzer_stability";
   case OracleLaw::CacheConsistency:
     return "cache_consistency";
+  case OracleLaw::DistConsistency:
+    return "dist_consistency";
   }
   return "?";
 }

@@ -76,6 +76,8 @@ enum class OracleLaw : uint8_t {
   AnalyzerStability, ///< features changed across a print/reparse rebuild
   CacheConsistency,  ///< verdict-cache hit or post-clear re-solve diverged
                      ///< from the cold verdict (DESIGN.md §15)
+  DistConsistency,   ///< 1-process and N-process verdict streams diverged
+                     ///< for the same batch (DESIGN.md §16)
 };
 
 /// Stable snake_case name for report output.

@@ -3,7 +3,7 @@
 #include "portfolio/BatchSolver.h"
 
 #include "re/RegexParser.h"
-#include "portfolio/Portfolio.h"
+#include "portfolio/SolverStack.h"
 #include "support/Exposition.h"
 #include "support/Stopwatch.h"
 #include "support/Trace.h"
@@ -14,37 +14,10 @@
 #include <thread>
 
 using namespace sbd;
+using portfolio::SolverStack;
 
-namespace {
-
-/// One worker's thread-local solver stack. Members are constructed in
-/// declaration order, so the references wired through the constructors are
-/// valid; the struct is non-movable and lives behind a unique_ptr.
-struct WorkerStack {
-  RegexManager M;
-  TrManager T{M};
-  DerivativeEngine E{M, T};
-  RegexSolver S{E};
-  portfolio::PortfolioSolver P{S};
-
-  WorkerStack() = default;
-  WorkerStack(const WorkerStack &) = delete;
-  WorkerStack &operator=(const WorkerStack &) = delete;
-
-  /// Interning + memo counters accumulated in this stack so far.
-  CacheStats stats() const {
-    CacheStats Out;
-    Out += M.stats();
-    Out += T.stats();
-    Out += E.stats();
-    return Out;
-  }
-};
-
-/// Solves one query on the given stack. \p LongLived marks stacks that
-/// survive across queries (ReuseArenas), where eager dense-row recording
-/// pays for itself on the very next shared vertex.
-BatchResult solveOne(WorkerStack &W, const BatchQuery &Q, bool LongLived) {
+BatchResult portfolio::solveOnStack(SolverStack &W, const BatchQuery &Q,
+                                    bool LongLived) {
   BatchResult Out;
   obs::ScopedSpan Span("query", "batch");
   Span.arg("pattern", Q.Pattern);
@@ -93,8 +66,6 @@ BatchResult solveOne(WorkerStack &W, const BatchQuery &Q, bool LongLived) {
   return Out;
 }
 
-} // namespace
-
 namespace {
 
 /// Buckets every result's SolveStats by the engine that produced it.
@@ -132,7 +103,7 @@ BatchSolver::solveAll(const std::vector<BatchQuery> &Queries) {
   std::atomic<size_t> Next{0};
   std::mutex StatsMutex;
   auto workLoop = [&] {
-    auto W = std::make_unique<WorkerStack>();
+    auto W = std::make_unique<SolverStack>();
     CacheStats Local;
     bool Dirty = false;
     for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
@@ -144,9 +115,9 @@ BatchSolver::solveAll(const std::vector<BatchQuery> &Queries) {
            (Opts.ArenaNodeBudget && W->M.numNodes() > Opts.ArenaNodeBudget));
       if (Recycle) {
         Local += W->stats();
-        W = std::make_unique<WorkerStack>();
+        W = std::make_unique<SolverStack>();
       }
-      Results[I] = solveOne(*W, Queries[I], Opts.ReuseArenas);
+      Results[I] = solveOnStack(*W, Queries[I], Opts.ReuseArenas);
       Dirty = true;
       // Safe point for SIGUSR1-driven exposition dumps (one relaxed load
       // when no dump is pending).

@@ -20,6 +20,10 @@ const char *sbd::obs::histName(Hist H) {
     return "lazy_scan_us";
   case Hist::CompiledScanUs:
     return "compiled_scan_us";
+  case Hist::DistRpcUs:
+    return "dist_rpc_us";
+  case Hist::DistQueueDepth:
+    return "dist_queue_depth";
   case Hist::NumHistograms:
     break;
   }

@@ -96,6 +96,16 @@ const char *sbd::obs::counterName(Counter C) {
     return "verdict_cache_revalidation_failures";
   case Counter::SessionChecks:
     return "session_checks";
+  case Counter::DistDispatched:
+    return "dist_dispatched";
+  case Counter::DistSteals:
+    return "dist_steals";
+  case Counter::DistRequeues:
+    return "dist_requeues";
+  case Counter::DistWorkerCrashes:
+    return "dist_worker_crashes";
+  case Counter::DistTimeouts:
+    return "dist_timeouts";
   case Counter::ParseTimeUs:
     return "parse_time_us";
   case Counter::MintermTimeUs:

@@ -119,6 +119,12 @@ enum class Counter : uint32_t {
   VerdictCacheRevalidationFailures, ///< cached witnesses the reference
                                     ///< matcher rejected on hit (hard error)
   SessionChecks,        ///< (check-sat) commands served by SmtSession
+  // Multi-process batch solving (dist/Coordinator.h, DESIGN.md §16).
+  DistDispatched,       ///< requests sent to worker processes
+  DistSteals,           ///< requests moved off their home shard's queue
+  DistRequeues,         ///< in-flight requests replayed after a worker loss
+  DistWorkerCrashes,    ///< worker processes that died with work in flight
+  DistTimeouts,         ///< in-flight requests that exceeded RpcTimeoutMs
   // Phase timings, microseconds (counters so they shard/merge like the rest).
   ParseTimeUs,
   MintermTimeUs,

@@ -41,6 +41,10 @@ void usage(std::ostream &OS) {
         "  --json PATH            write the JSON run report (\"-\" = stdout)\n"
         "  --corrupt              inject the broken inter-as-union engine;\n"
         "                         exit 0 iff the oracle catches it\n"
+        "  --dist N               run the dist_consistency law every Nth\n"
+        "                         arena batch (forks workers; default off)\n"
+        "  --dist-workers N       worker count for the N-process side\n"
+        "                         (default 3)\n"
         "  --no-shrink            report discrepancies unshrunk\n"
         "  --no-sat               membership/law checks only (no solvers)\n"
         "  --quiet                suppress the human-readable summary\n"
@@ -101,6 +105,12 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       JsonPath = Argv[++I];
+    } else if (Arg == "--dist") {
+      needValue(V);
+      Opts.DistEvery = static_cast<uint32_t>(V);
+    } else if (Arg == "--dist-workers") {
+      needValue(V);
+      Opts.DistWorkers = static_cast<uint32_t>(V);
     } else if (Arg == "--corrupt") {
       Opts.CorruptStub = true;
     } else if (Arg == "--no-shrink") {
